@@ -1,0 +1,56 @@
+"""Ablation: SoA vs AoS field layout and its halo-traffic consequences.
+
+The paper makes layout a one-parameter Field property and notes the halo
+cost difference: an n-component SoA field needs 2n transfers per
+partition (one per component per direction) while AoS needs 2 larger
+ones.  On a latency-dominated interconnect the message count matters;
+this bench quantifies it for the 19-component LBM field.
+"""
+
+import pytest
+
+from repro.bench import format_table, save_result
+from repro.domain import Layout
+from repro.sim import dgx_a100
+from repro.skeleton import Occ
+from repro.solvers.lbm import LidDrivenCavity
+from repro.system import Backend
+
+SIZE = 256
+NDEV = 8
+
+
+def measure(layout: Layout) -> dict:
+    cav = LidDrivenCavity(
+        Backend.sim_gpus(NDEV, machine=dgx_a100(NDEV)), (SIZE,) * 3, occ=Occ.NONE, layout=layout, virtual=True
+    )
+    msgs = cav.f[0].halo_messages()
+    return {
+        "messages": len(msgs),
+        "bytes_per_message": msgs[0].nbytes if msgs else 0,
+        "iteration_s": cav.iteration_makespan(),
+    }
+
+
+def test_ablation_soa_vs_aos_halo_traffic(benchmark, show):
+    results = benchmark.pedantic(lambda: {lay.value: measure(lay) for lay in Layout}, rounds=1, iterations=1)
+    rows = [
+        [lay, r["messages"], r["bytes_per_message"] / 1024, r["iteration_s"] * 1e3]
+        for lay, r in results.items()
+    ]
+    show(
+        format_table(
+            ["layout", "halo messages", "KiB/message", "ms/iter (no OCC)"],
+            rows,
+            title=f"Ablation: D3Q19 field layout, {SIZE}^3 on {NDEV} GPUs",
+        )
+    )
+    save_result("ablation_layout", results)
+
+    soa, aos = results["soa"], results["aos"]
+    # paper IV-C2: SoA pays 2n messages per partition pair, AoS only 2
+    assert soa["messages"] == 19 * aos["messages"]
+    assert aos["bytes_per_message"] == 19 * soa["bytes_per_message"]
+    # same total bytes, but SoA pays 19x the per-message latency: AoS
+    # iterations are never slower under a latency-bearing link model
+    assert aos["iteration_s"] <= soa["iteration_s"]

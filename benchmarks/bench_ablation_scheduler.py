@@ -1,0 +1,83 @@
+"""Ablation: the scheduler's parent-stream reuse (paper V-C a).
+
+"If possible, we give a node the same stream used by one of its parents
+located in previous levels.  This operation reduces Events
+synchronization overhead."  This bench disables that heuristic and
+counts the synchronisation primitives the schedule then needs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, save_result
+from repro.core import ops
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.skeleton import Occ, Skeleton
+from repro.system import Backend
+
+
+def laplacian(grid, x, y):
+    def loading(loader):
+        xp = loader.read(x, stencil=True)
+        yp = loader.write(y)
+
+        def compute(span):
+            acc = -6.0 * xp.view(span)
+            for off in STENCIL_7PT:
+                if off != (0, 0, 0):
+                    acc = acc + xp.neighbour(span, off)
+            yp.view(span)[...] = acc
+
+        return compute
+
+    return grid.new_container("laplace", loading)
+
+
+def build(reuse: bool):
+    backend = Backend.sim_gpus(4)
+    grid = DenseGrid(backend, (64, 32, 32), stencils=[STENCIL_7PT], virtual=True)
+    x, y = grid.new_field("x"), grid.new_field("y")
+    partial = grid.new_reduce_partial("p")
+    return Skeleton(
+        backend,
+        [ops.axpy(grid, 0.5, y, x), laplacian(grid, x, y), ops.dot(grid, x, y, partial)],
+        occ=Occ.TWO_WAY,
+        reuse_parent_streams=reuse,
+    )
+
+
+def test_ablation_stream_reuse(benchmark, show):
+    def run():
+        out = {}
+        for reuse in (True, False):
+            sk = build(reuse)
+            result = sk.record()
+            trace = sk.trace(result=result)
+            out[reuse] = {
+                "events": result.stats.num_events,
+                "waits": result.stats.num_waits,
+                "same_queue_skips": result.stats.waits_skipped_same_queue,
+                "makespan_s": trace.makespan,
+            }
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [("on" if k else "off"), v["events"], v["waits"], v["same_queue_skips"], v["makespan_s"] * 1e6]
+        for k, v in res.items()
+    ]
+    show(
+        format_table(
+            ["parent-stream reuse", "events", "waits", "same-queue skips", "makespan (us)"],
+            rows,
+            title="Ablation: scheduler stream-reuse heuristic (Fig 4d app, 4 GPUs)",
+        )
+    )
+    save_result("ablation_scheduler", {str(k): v for k, v in res.items()})
+
+    on, off = res[True], res[False]
+    # the heuristic's entire purpose: fewer events / more free syncs
+    assert on["events"] <= off["events"]
+    assert on["same_queue_skips"] >= off["same_queue_skips"]
+    # and it must not hurt the schedule
+    assert on["makespan_s"] <= off["makespan_s"] * 1.01

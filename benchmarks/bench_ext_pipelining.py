@@ -1,0 +1,97 @@
+"""Extension experiment: cross-iteration pipelining via unrolling.
+
+Compiling several time steps into one skeleton lets the dependency
+analysis span iteration boundaries.  Two honest findings:
+
+1. For the *bare* LBM step (one fused stencil per iteration) the chain
+   halo -> boundary-kernel -> next halo is inherently serial, so the
+   steady-state cost per iteration exactly equals the isolated cost —
+   intra-iteration OCC already extracts all available overlap, and
+   measuring iterations in isolation (as the paper does) is sound.
+2. Once an iteration carries work *independent* of that chain — here a
+   per-step density diagnostic, a common pattern in production solvers —
+   the diagnostic of step k overlaps the halo exchange of step k+1 and
+   pipelining yields a real gain.
+"""
+
+import pytest
+
+from repro.bench import format_table, save_result
+from repro.core import ops
+from repro.domain import D3Q19_STENCIL, DenseGrid
+from repro.sim import pcie_a100
+from repro.skeleton import Occ, unrolled_skeleton
+from repro.solvers.lbm import make_twopop_container
+from repro.system import Backend
+
+SIZE = 128
+NDEV = 8
+
+
+def make_density(grid, src, dst, name):
+    def loading(loader):
+        s = loader.read(src)
+        d = loader.write(dst)
+
+        def compute(span):
+            d.view(span)[...] = sum(s.view(span, q) for q in range(19))
+
+        return compute
+
+    return grid.new_container(name, loading, flops_per_cell=19.0)
+
+
+def factories(backend):
+    grid = DenseGrid(backend, (SIZE,) * 3, stencils=[D3Q19_STENCIL], virtual=True)
+    f = [grid.new_field(n, cardinality=19, outside_value=-1.0) for n in ("f0", "f1")]
+    rho = grid.new_field("rho")
+
+    def bare(i):
+        return [make_twopop_container(grid, f[i % 2], f[1 - i % 2], 1.0, 0.05)]
+
+    def with_diag(i):
+        return bare(i) + [make_density(grid, f[1 - i % 2], rho, "rho")]
+
+    return {"bare LBM step": bare, "LBM + density diagnostic": with_diag}
+
+
+def measure(backend, iteration, occ):
+    sk1 = unrolled_skeleton(backend, iteration, 1, occ=occ)
+    iso = sk1.trace(result=sk1.record()).makespan
+    sk2 = unrolled_skeleton(backend, iteration, 2, occ=occ)
+    sk6 = unrolled_skeleton(backend, iteration, 6, occ=occ)
+    steady = (sk6.trace(result=sk6.record()).makespan - sk2.trace(result=sk2.record()).makespan) / 4
+    return iso, steady
+
+
+def test_ext_pipelining(benchmark, show):
+    def run():
+        backend = Backend.sim_gpus(NDEV, machine=pcie_a100(NDEV))
+        out = {}
+        for label, iteration in factories(backend).items():
+            iso, steady = measure(backend, iteration, Occ.STANDARD)
+            out[label] = {"isolated_s": iso, "steady_s": steady, "gain": iso / steady}
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [label, v["isolated_s"] * 1e3, v["steady_s"] * 1e3, v["gain"]] for label, v in res.items()
+    ]
+    show(
+        format_table(
+            ["iteration body", "isolated ms/iter", "steady ms/iter", "pipelining gain"],
+            rows,
+            title=f"Extension: cross-iteration pipelining, {SIZE}^3 on {NDEV} GPUs (PCIe, standard OCC)",
+        )
+    )
+    save_result("ext_pipelining", res)
+
+    bare = res["bare LBM step"]
+    diag = res["LBM + density diagnostic"]
+    # finding 1: the bare step has no cross-iteration slack — the steady
+    # state exactly matches the isolated measurement (soundness of the
+    # paper's per-iteration methodology)
+    assert bare["gain"] == pytest.approx(1.0, abs=0.01)
+    # finding 2: independent per-iteration work turns unrolling into a
+    # real optimisation
+    assert diag["gain"] > 1.03

@@ -1,0 +1,89 @@
+"""Fig 8 (bottom): Poisson CG parallel efficiency on 8 GPUs across grid
+sizes — "given enough parallelism, our OCC optimizations are effective
+and can reach ideal efficiency".
+
+Also regenerates the paper's framework-overhead comparison (Fig 8 top's
+baseline curve): Neon's skeleton vs the hand-written CG on one device,
+measured in wall clock on a functional (non-virtual) grid.
+"""
+
+import pytest
+
+from repro.baselines import NativePoissonCG
+from repro.bench import format_table, parallel_efficiency, save_result, wall_time
+from repro.sim import dgx_a100
+from repro.skeleton import Occ
+from repro.solvers import PoissonSolver
+from repro.system import Backend
+
+SIZES = [160, 224, 288, 320, 384, 448]
+NDEV = 8
+
+
+def iteration_time(size: int, ndev: int, occ: Occ) -> float:
+    solver = PoissonSolver(
+        Backend.sim_gpus(ndev, machine=dgx_a100(ndev)), (size,) * 3, occ=occ, virtual=True
+    )
+    return solver.iteration_makespan()
+
+
+def test_fig8_bottom_scaling_with_grid_size(benchmark, show):
+    def run():
+        out = {}
+        for size in SIZES:
+            base = iteration_time(size, 1, Occ.NONE)
+            out[size] = {
+                occ.value: parallel_efficiency(base, iteration_time(size, NDEV, occ), NDEV)
+                for occ in (Occ.NONE, Occ.STANDARD, Occ.TWO_WAY)
+            }
+        return out
+
+    eff = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"{s}^3", *(eff[s][o] for o in ("none", "standard", "two-way-extended"))] for s in SIZES]
+    show(
+        format_table(
+            ["grid", "No OCC", "Standard", "Two-way"],
+            rows,
+            title=f"Fig 8 (bottom): Poisson CG efficiency on {NDEV} GPUs (DGX-A100)",
+        )
+    )
+    save_result("fig8_bottom_poisson_scaling", {str(s): eff[s] for s in SIZES})
+
+    # efficiency grows with the grid (more parallelism) and approaches
+    # ideal; the ceiling at ~0.95 is CG's per-iteration host readback of
+    # the two reduction scalars, a cost the single-GPU baseline pays only
+    # half as visibly
+    std = [eff[s]["standard"] for s in SIZES]
+    assert all(a <= b + 1e-9 for a, b in zip(std, std[1:]))
+    assert std[-1] > 0.94
+    for s in SIZES:
+        assert eff[s]["standard"] >= eff[s]["none"]
+
+
+def test_fig8_framework_overhead_vs_native(benchmark, show):
+    """Neon vs the hardwired CUDA+cuBLAS-role baseline, one device."""
+    shape = (48, 48, 48)
+    fw = PoissonSolver(Backend.sim_gpus(1), shape, occ=Occ.NONE)
+    fw.f.fill(1.0)
+    native = NativePoissonCG(shape)
+
+    import numpy as np
+
+    native.set_rhs(np.ones(shape))
+
+    def one_fw():
+        fw.cg.sk_a.run()
+
+    t_fw = benchmark.pedantic(lambda: wall_time(one_fw, repeats=2, warmup=1), rounds=1, iterations=1)
+    t_nat = wall_time(native.one_iteration_work, repeats=3, warmup=1)
+    show(
+        format_table(
+            ["implementation", "time/iter (ms)"],
+            [["Neon skeleton", t_fw * 1e3], ["native (cuBLAS role)", t_nat * 1e3]],
+            title="Fig 8 framework overhead (wall clock, one device, 48^3)",
+        )
+    )
+    save_result("fig8_framework_overhead", {"neon_s": t_fw, "native_s": t_nat})
+    # the Python framework pays interpreter overhead the C++ original does
+    # not; it must still stay within one order of magnitude
+    assert t_fw < t_nat * 10.0

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Regenerate the EXPERIMENTS.md data tables from benchmarks/out/*.json.
+
+Run after ``pytest benchmarks/ --benchmark-only`` to print every
+experiment's measured series as markdown — the source of the numbers
+quoted in EXPERIMENTS.md.
+
+Usage:  python benchmarks/collect_results.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+OUT = pathlib.Path(__file__).parent / "out"
+
+
+def md_table(headers: list[str], rows: list[list]) -> str:
+    def fmt(v):
+        return f"{v:.3f}" if isinstance(v, float) else str(v)
+
+    lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    lines += ["| " + " | ".join(fmt(c) for c in row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def emit(title: str, table: str) -> None:
+    print(f"\n## {title}\n\n{table}")
+
+
+def main() -> None:
+    if not OUT.exists():
+        raise SystemExit("no results yet — run: pytest benchmarks/ --benchmark-only")
+    data = {p.stem: json.loads(p.read_text()) for p in sorted(OUT.glob("*.json"))}
+
+    if "fig1_occ_workflows" in data:
+        d = data["fig1_occ_workflows"]
+        emit(
+            "Fig 1 — OCC workflows (2 GPUs)",
+            md_table(
+                ["workflow", "makespan (us)", "speedup vs none"],
+                [[k, v * 1e6, d["none"] / v] for k, v in d.items()],
+            ),
+        )
+
+    if "table1_karman" in data:
+        d = data["table1_karman"]
+        emit(
+            "Table I — Kármán vortex street LUPS",
+            md_table(
+                ["domain", "Neon MLUPS", "native MLUPS", "ratio", "model MLUPS"],
+                [
+                    [k, v["neon_lups"] / 1e6, v["native_lups"] / 1e6, v["speedup"], v["model_lups"] / 1e6]
+                    for k, v in d.items()
+                ],
+            ),
+        )
+
+    if "table2_lbm_variants" in data:
+        d = data["table2_lbm_variants"]
+        emit(
+            "Table II — D3Q19 variants",
+            md_table(
+                ["variant", "model MLUPS", "wall MLUPS"],
+                [[k, v["model_mlups"], v["wall_mlups"]] for k, v in d.items()],
+            ),
+        )
+
+    if "fig7_lbm_scaling" in data:
+        d = data["fig7_lbm_scaling"]
+        emit(
+            "Fig 7 — LBM efficiency, 8 GPUs",
+            md_table(
+                ["domain", "no OCC", "standard OCC"],
+                [[f"{k}^3", v["none"], v["standard"]] for k, v in sorted(d.items(), key=lambda kv: int(kv[0]))],
+            ),
+        )
+
+    if "fig8_top_poisson_occ" in data:
+        d = data["fig8_top_poisson_occ"]
+        occs = ["none", "standard", "extended", "two-way-extended"]
+        rows = []
+        for n, effs in sorted(d.items(), key=lambda kv: int(kv[0])):
+            rows.append([n, *(effs[o] for o in occs), max(effs, key=effs.get)])
+        emit("Fig 8 top — Poisson OCC configs (320^3, PCIe-A100)", md_table(["GPUs", *occs, "best"], rows))
+
+    if "fig8_bottom_poisson_scaling" in data:
+        d = data["fig8_bottom_poisson_scaling"]
+        rows = [
+            [f"{k}^3", v["none"], v["standard"], v["two-way-extended"]]
+            for k, v in sorted(d.items(), key=lambda kv: int(kv[0]))
+        ]
+        emit("Fig 8 bottom — Poisson vs grid size (8 GPUs, DGX)", md_table(["grid", "none", "standard", "two-way"], rows))
+
+    if "fig8_framework_overhead" in data:
+        d = data["fig8_framework_overhead"]
+        emit(
+            "Fig 8 — framework overhead (wall clock)",
+            md_table(
+                ["implementation", "ms/iter"],
+                [["Neon skeleton", d["neon_s"] * 1e3], ["native", d["native_s"] * 1e3]],
+            ),
+        )
+
+    if "fig9_elastic_sparse" in data:
+        d = data["fig9_elastic_sparse"]
+        rows = []
+        for key, v in sorted(d.items(), key=lambda kv: (int(kv[0].split("_")[0]), float(kv[0].split("_")[1]))):
+            size, s = key.split("_")
+            rows.append(
+                [f"{size}^3", float(s), v["dense_s"] * 1e3, v["sparse_s"] * 1e3,
+                 "sparse" if v["sparse_s"] < v["dense_s"] else "dense"]
+            )
+        emit("Fig 9 — dense vs sparse elasticity (8 GPUs)", md_table(["grid", "sparsity", "dense ms", "sparse ms", "winner"], rows))
+
+    if "fig9_oom" in data:
+        d = data["fig9_oom"]
+        emit(
+            "Fig 9 — memory outcome at 512^3 fully dense (one 40 GB device)",
+            md_table(["grid type", "outcome"], [["dense", d["dense"]], ["element-sparse", d["sparse"]]]),
+        )
+
+    for name in ("ablation_layout", "ablation_scheduler"):
+        if name in data:
+            d = data[name]
+            first = next(iter(d.values()))
+            headers = ["config", *first.keys()]
+            rows = [[k, *v.values()] for k, v in d.items()]
+            emit(f"Ablation — {name.split('_', 1)[1]}", md_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

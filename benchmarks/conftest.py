@@ -1,0 +1,19 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+regenerated tables; each bench also writes its series to
+``benchmarks/out/<experiment>.json``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table so it survives capture (shown in the -s / summary)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show

@@ -1,0 +1,51 @@
+"""Linear elasticity: switching data structures without touching the solver.
+
+Solves the paper's benchmark (solid block, fixed base, pressure on top)
+on a dense grid and on an element-sparse grid — same Containers, same
+CG — then sweeps sparsity to show the Fig 9 dense/sparse trade-off.
+
+Run:  python examples/elastic_sparse.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import Backend, Occ
+from repro.sim import dgx_a100
+from repro.solvers import ElasticitySolver
+
+
+def main():
+    # -- same solver, two data structures --------------------------------------
+    print("solving an 8^3 block (50% sparsity) on dense and sparse grids ...")
+    for sparse in (False, True):
+        solver = ElasticitySolver.solid_cube(
+            Backend.sim_gpus(2), 8, solid_fraction=0.5, sparse=sparse, pressure=0.02
+        )
+        res = solver.solve(max_iterations=400, tolerance=1e-9)
+        uz = solver.displacement()[0]
+        top = uz[-1][np.isfinite(uz[-1]) & (uz[-1] != 0.0)]
+        kind = "sparse" if sparse else "dense "
+        print(
+            f"  {kind}: converged in {res.iterations:3d} iters, "
+            f"mean top-plane uplift = {top.mean():+.4e}"
+        )
+
+    # -- Fig 9 trade-off -------------------------------------------------------
+    print("\nsimulated CG-iteration time, 256^3 grid on 8 GPUs (DGX model):")
+    rows = []
+    for s in (1.0, 0.8, 0.6, 0.4, 0.2):
+        times = {}
+        for sparse in (False, True):
+            backend = Backend.sim_gpus(8, machine=dgx_a100(8))
+            solver = ElasticitySolver.solid_cube(
+                backend, 256, solid_fraction=s, sparse=sparse, virtual=True
+            )
+            times[sparse] = solver.iteration_makespan()
+        rows.append([s, times[False] * 1e3, times[True] * 1e3, "sparse" if times[True] < times[False] else "dense"])
+    print(format_table(["sparsity", "dense ms", "sparse ms", "winner"], rows))
+    print("\nthe element-sparse grid wins below ~0.8 sparsity — the paper's Fig 9.")
+
+
+if __name__ == "__main__":
+    main()

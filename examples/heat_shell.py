@@ -1,0 +1,88 @@
+"""Transient heat diffusion on a spherical shell — free-form domains.
+
+Uses the geometry CSG helpers to build a hollow shell (the kind of
+free-form engineering domain the paper's intro motivates), then runs
+explicit heat diffusion with a hot inner surface on the element-sparse
+grid across 3 simulated GPUs.  Shows two time-stepping skeletons
+(ping-pong buffers) and a temperature-profile readout.
+
+Run:  python examples/heat_shell.py
+"""
+
+import numpy as np
+
+from repro.core import Backend, Occ, Skeleton
+from repro.domain import STENCIL_7PT, SparseGrid, geometry
+
+
+def diffusion_step(grid, t_in, t_out, hot, alpha=0.12):
+    """t_out = t_in + alpha * Laplacian(t_in), with a pinned hot band.
+
+    Outside-domain neighbours read 0 (ambient), so the shell's surfaces
+    cool towards the surroundings except where `hot` pins them.
+    """
+
+    def loading(loader):
+        ti = loader.read(t_in, stencil=True)
+        hp = loader.read(hot)
+        to = loader.write(t_out)
+
+        def compute(span):
+            c = ti.view(span)
+            acc = -6.0 * c
+            for off in STENCIL_7PT:
+                if off != (0, 0, 0):
+                    acc = acc + ti.neighbour(span, off)
+            new = c + alpha * acc
+            h = hp.view(span)
+            to.view(span)[...] = np.where(h > 0.5, 1.0, new)
+
+        return compute
+
+    return grid.new_container("diffuse", loading)
+
+
+def main():
+    n = 28
+    shape = (n, n, n)
+    mask = geometry.shell(shape, inner=4.5, outer=11.5)
+    backend = Backend.sim_gpus(3)
+    grid = SparseGrid(backend, mask=mask, stencils=[STENCIL_7PT])
+    print(f"shell domain: {grid.num_active} active cells of {grid.num_cells} "
+          f"(sparsity {grid.sparsity_ratio:.2f}), {backend.num_devices} GPUs")
+
+    temp = [grid.new_field("t0"), grid.new_field("t1")]
+    hot = grid.new_field("hot")
+    c = (n - 1) / 2.0
+    # pin the innermost band of the shell at T = 1
+    hot.init(lambda z, y, x: ((z - c) ** 2 + (y - c) ** 2 + (x - c) ** 2 <= 6.0**2).astype(float))
+    temp[0].init(lambda z, y, x: ((z - c) ** 2 + (y - c) ** 2 + (x - c) ** 2 <= 6.0**2).astype(float))
+
+    steps = [
+        Skeleton(backend, [diffusion_step(grid, temp[i], temp[1 - i], hot)], occ=Occ.STANDARD, name=f"s{i}")
+        for i in (0, 1)
+    ]
+
+    for it in range(120):
+        steps[it % 2].run()
+
+    t = temp[0].to_numpy()[0]
+    print("\nradial temperature profile (mid-plane ray from centre):")
+    mid = n // 2
+    for x in range(mid, n):
+        r = x - mid
+        val = t[mid, mid, x]
+        inside = mask[mid, mid, x]
+        bar = "#" * int(36 * max(val, 0.0)) if inside else ""
+        tag = f"{val:5.2f}" if inside else "  -  "
+        print(f"  r={r:2d}  {tag}  {bar}")
+
+    shell_vals = t[mask]
+    print(f"\nhot band at 1.0, outer surface cooled towards ambient: "
+          f"min={shell_vals.min():.3f}, max={shell_vals.max():.3f}")
+    assert shell_vals.max() <= 1.0 + 1e-9
+    assert shell_vals.min() < 0.5  # outer surface has cooled
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""2-D Kármán vortex street (the paper's Table I application).
+
+Runs channel flow past a cylinder with the D2Q9 solver on two simulated
+GPUs and renders the vorticity field as ASCII art — vortices shed behind
+the cylinder alternate in sign.
+
+Run:  python examples/karman_vortex.py
+"""
+
+import numpy as np
+
+from repro.core import Backend
+from repro.solvers.lbm import KarmanVortexStreet
+
+
+def render(w: np.ndarray, mask: np.ndarray, width: int = 110) -> str:
+    ny, nx = w.shape
+    step_x = max(1, nx // width)
+    step_y = max(1, ny // 28)
+    scale = np.percentile(np.abs(w[mask > 0.5]), 98) or 1.0
+    chars = " .:-=+*#%@"
+    lines = []
+    for j in range(0, ny, step_y):
+        row = []
+        for i in range(0, nx, step_x):
+            if mask[j, i] < 0.5:
+                row.append("O")  # the cylinder / walls
+            else:
+                v = w[j, i] / scale
+                if v > 0:
+                    row.append(chars[min(9, int(v * 9))])
+                else:
+                    row.append(chars[min(9, int(-v * 9))].lower() if abs(v) > 0.1 else " ")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def main():
+    flow = KarmanVortexStreet(Backend.sim_gpus(2), (48, 192), reynolds=180.0, inflow_velocity=0.06)
+    print(f"Re = 180, omega = {flow.omega:.3f}, domain 192x48, 2 simulated GPUs")
+    for checkpoint in (1500, 3000):
+        flow.step(1500)
+        rho, u = flow.macroscopic()
+        fluid = flow.mask.to_numpy()[0] > 0.5
+        print(f"\nafter {checkpoint} steps  (max |u| = {np.abs(u[:, fluid]).max():.3f}):")
+        print(render(flow.vorticity(), flow.mask.to_numpy()[0]))
+    print("\nalternating-sign vorticity downstream of the cylinder = the vortex street.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Set-level programming: what the Skeleton automates, done by hand.
+
+The paper's Set abstraction (section IV-B) lets experts drive multi-GPU
+streams and events manually.  This example implements the map->stencil
+pipeline of Fig 1b by hand — explicit halo update, explicit event
+synchronisation, manual overlap — and checks it against the one-line
+Skeleton version.  It is deliberately verbose: the contrast *is* the
+paper's pitch.
+
+Run:  python examples/set_level_manual.py
+"""
+
+import numpy as np
+
+from repro.core import Backend, DenseGrid, Occ, Skeleton, ops
+from repro.domain import STENCIL_7PT, DataView
+from repro.sets import MultiEvent, MultiStream
+
+
+def laplacian(grid, x, y):
+    def loading(loader):
+        xp = loader.read(x, stencil=True)
+        yp = loader.write(y)
+
+        def compute(span):
+            acc = -6.0 * xp.view(span)
+            for off in STENCIL_7PT:
+                if off != (0, 0, 0):
+                    acc = acc + xp.neighbour(span, off)
+            yp.view(span)[...] = acc
+
+        return compute
+
+    return grid.new_container("laplace", loading)
+
+
+def manual_pipeline(backend, grid, x, y):
+    """Hand-rolled Fig 1b: map, async halo, internal stencil, boundary stencil."""
+    compute = MultiStream.create(backend, "compute")
+    transfer = MultiStream.create(backend, "transfer")
+    map_done = MultiEvent(backend.num_devices, "map_done")
+    halo_done = MultiEvent(backend.num_devices, "halo_done")
+
+    axpy = ops.axpy(grid, 0.5, y, x)
+    lap = laplacian(grid, x, y)
+
+    # 1) the map on every device, then mark completion
+    axpy.run(compute)
+    map_done.record_all(compute)
+
+    # 2) halo transfers on the transfer streams, gated on the producer
+    for msg in x.halo_messages():
+        q = transfer[msg.src_rank]
+        q.wait_event(map_done[msg.src_rank])
+        q.enqueue_copy(msg.name, msg.fn, backend.device(msg.src_rank), backend.device(msg.dst_rank), msg.nbytes)
+    halo_done.record_all(transfer)
+
+    # 3) internal stencil overlaps the transfers ...
+    lap.run(compute, view=DataView.INTERNAL)
+    # 4) ... and the boundary stencil waits for the halos.  Careful:
+    # halo_done[r] marks rank r's *sends* — the data rank r needs comes
+    # from its neighbours' sends, so each rank waits the neighbour
+    # events.  Mistakes like waiting on your own event are exactly what
+    # the Skeleton abstraction exists to rule out.
+    for r in range(backend.num_devices):
+        for nb in backend.devices.neighbours(r):
+            compute[r].wait_event(halo_done[nb])
+    lap.run(compute, view=DataView.BOUNDARY)
+    return list(compute) + list(transfer)
+
+
+def main():
+    backend = Backend.sim_gpus(4)
+    grid = DenseGrid(backend, (32, 16, 16), stencils=[STENCIL_7PT])
+    x, y = grid.new_field("x"), grid.new_field("y")
+    init_x = lambda z, j, i: np.sin(0.3 * z) + 0.01 * i
+    init_y = lambda z, j, i: np.cos(0.2 * j)
+    x.init(init_x)
+    y.init(init_y)
+
+    queues = manual_pipeline(backend, grid, x, y)
+    manual_y = y.to_numpy().copy()
+    from repro.sim import simulate
+
+    manual_trace = simulate(queues, backend.machine)
+    print("manual Set-level pipeline (Fig 1b by hand):")
+    print(manual_trace.gantt(90))
+
+    # the one-liner: same computation through the Skeleton
+    x.init(init_x)
+    y.init(init_y)
+    sk = Skeleton(backend, [ops.axpy(grid, 0.5, y, x), laplacian(grid, x, y)], occ=Occ.STANDARD)
+    sk.run()
+    auto_y = y.to_numpy()
+
+    assert np.allclose(manual_y, auto_y), "manual and Skeleton pipelines disagree!"
+    print("\nSkeleton-generated schedule (same computation, zero manual code):")
+    print(sk.trace().gantt(90))
+    print("\nresults identical; the Skeleton wrote the bottom schedule for you.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Command-line entry point: drive the paper reproduction from a shell.
+
+    python -m repro list                 # show every experiment
+    python -m repro reproduce fig7       # regenerate one table/figure
+    python -m repro reproduce all        # regenerate everything
+    python -m repro collect              # print measured tables (markdown)
+    python -m repro info                 # package / machine-model summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+EXPERIMENTS = {
+    "fig1": ("bench_fig1_occ_workflows.py", "Fig 1: OCC workflow makespans"),
+    "table1": ("bench_table1_karman.py", "Table I: Kármán LUPS vs comparator"),
+    "table2": ("bench_table2_lbm_variants.py", "Table II: single-GPU LBM variants"),
+    "fig7": ("bench_fig7_lbm_scaling.py", "Fig 7: LBM strong scaling"),
+    "fig8top": ("bench_fig8_poisson_occ.py", "Fig 8 top: Poisson OCC configs"),
+    "fig8bottom": ("bench_fig8_poisson_scaling.py", "Fig 8 bottom + framework overhead"),
+    "fig9": ("bench_fig9_elastic_sparse.py", "Fig 9: dense vs sparse elasticity"),
+    "ablation-layout": ("bench_ablation_layout.py", "Ablation: SoA vs AoS halos"),
+    "ablation-scheduler": ("bench_ablation_scheduler.py", "Ablation: stream reuse"),
+    "ablation-fusion": ("bench_ablation_fusion.py", "Ablation: container fusion"),
+    "ext-multinode": ("bench_ext_multinode.py", "Extension: multi-node scaling"),
+    "ext-pipelining": ("bench_ext_pipelining.py", "Extension: iteration pipelining"),
+    "micro": ("bench_microbench.py", "Framework microbenchmarks"),
+}
+
+
+def cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (_file, desc) in EXPERIMENTS.items():
+        print(f"  {key:<{width}}  {desc}")
+    return 0
+
+
+def cmd_reproduce(names: list[str]) -> int:
+    if "all" in names:
+        targets = [str(BENCH_DIR)]
+    else:
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment(s): {unknown}; try 'python -m repro list'", file=sys.stderr)
+            return 2
+        targets = [str(BENCH_DIR / EXPERIMENTS[n][0]) for n in names]
+    cmd = [sys.executable, "-m", "pytest", *targets, "--benchmark-only", "-q"]
+    return subprocess.call(cmd)
+
+
+def cmd_collect() -> int:
+    sys.path.insert(0, str(BENCH_DIR))
+    import collect_results  # noqa: PLC0415 - script module by design
+
+    collect_results.main()
+    return 0
+
+
+def cmd_info() -> int:
+    import numpy
+
+    import repro
+    from repro.sim import cpu_host, dgx_a100, multi_node_a100, pcie_a100, pcie_gv100
+
+    print(f"repro {repro.__version__} — Neon (IPDPS 2022) reproduction")
+    print(f"python {sys.version.split()[0]}, numpy {numpy.__version__}")
+    print("\nmachine models:")
+    for m in (dgx_a100(8), pcie_a100(8), pcie_gv100(8), multi_node_a100(2, 4), cpu_host()):
+        link = m.topology.link(0, 1) if m.num_devices > 1 else m.topology.link(0, -1)
+        print(
+            f"  {m.name:<22} mem {m.device.mem_bandwidth / 1e12:5.2f} TB/s   "
+            f"link {link.bandwidth / 1e9:6.1f} GB/s   latency {link.latency * 1e6:4.1f} us"
+        )
+    print("\nexperiments: python -m repro list")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show all reproducible experiments")
+    rep = sub.add_parser("reproduce", help="run one or more experiments")
+    rep.add_argument("names", nargs="+", help="experiment keys, or 'all'")
+    sub.add_parser("collect", help="print measured result tables as markdown")
+    sub.add_parser("info", help="package and machine-model summary")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "reproduce":
+        return cmd_reproduce(args.names)
+    if args.command == "collect":
+        return cmd_collect()
+    return cmd_info()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

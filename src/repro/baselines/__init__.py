@@ -1,0 +1,20 @@
+"""Hand-written single-device comparators standing in for the paper's
+cuboltz, stlbm (AA / twoPop / Swap), Taichi, and CUDA+cuBLAS baselines."""
+
+from .cavity_native import NativeCavity
+from .karman_native import NativeKarman
+from .lbm_native import NativeLBM, aa_even_step, aa_odd_step, swap_step, twopop_step
+from .poisson_native import NativeCGResult, NativePoissonCG, apply_neg_laplacian
+
+__all__ = [
+    "NativeCGResult",
+    "NativeCavity",
+    "NativeKarman",
+    "NativeLBM",
+    "NativePoissonCG",
+    "aa_even_step",
+    "aa_odd_step",
+    "apply_neg_laplacian",
+    "swap_step",
+    "twopop_step",
+]

@@ -1,0 +1,89 @@
+"""Raw-NumPy matrix-free CG Poisson solver: the paper's CUDA+cuBLAS baseline.
+
+Single device, hand-fused 7-point stencil on a padded array, BLAS-style
+vector updates — the hardwired implementation Neon's framework overhead
+is measured against in Fig 8 (top).  No out-of-bound checks are needed
+because the padding plays the ghost layer, which is exactly the paper's
+explanation of where Neon's small overhead comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def apply_neg_laplacian(u_padded: np.ndarray, out_padded: np.ndarray) -> None:
+    """out <- (-laplace_h) u on the interior of padded (ghosted) arrays."""
+    c = u_padded[1:-1, 1:-1, 1:-1]
+    out_padded[1:-1, 1:-1, 1:-1] = (
+        6.0 * c
+        - u_padded[:-2, 1:-1, 1:-1]
+        - u_padded[2:, 1:-1, 1:-1]
+        - u_padded[1:-1, :-2, 1:-1]
+        - u_padded[1:-1, 2:, 1:-1]
+        - u_padded[1:-1, 1:-1, :-2]
+        - u_padded[1:-1, 1:-1, 2:]
+    )
+
+
+@dataclass
+class NativeCGResult:
+    converged: bool
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+
+
+class NativePoissonCG:
+    """-laplace(u) = f with zero Dirichlet borders, plain NumPy CG."""
+
+    def __init__(self, shape: tuple[int, int, int]):
+        self.shape = shape
+        self.u = np.zeros([s + 2 for s in shape])
+        self.f = np.zeros(shape)
+
+    def set_rhs(self, f: np.ndarray) -> None:
+        if f.shape != self.shape:
+            raise ValueError(f"rhs shape {f.shape} != {self.shape}")
+        self.f = f.astype(np.float64)
+
+    def solve(self, max_iterations: int = 500, tolerance: float = 1e-8) -> NativeCGResult:
+        inner = (slice(1, -1),) * 3
+        q_pad = np.zeros_like(self.u)
+        p_pad = np.zeros_like(self.u)
+        apply_neg_laplacian(self.u, q_pad)
+        r = self.f - q_pad[inner]
+        delta = float(np.dot(r.ravel(), r.ravel()))
+        res = NativeCGResult(False, 0, [float(np.sqrt(delta))])
+        if res.residual_norms[0] <= tolerance:
+            res.converged = True
+            return res
+        p_pad[inner] = r
+        for it in range(1, max_iterations + 1):
+            apply_neg_laplacian(p_pad, q_pad)
+            q = q_pad[inner]
+            p = p_pad[inner]
+            alpha = delta / float(np.dot(p.ravel(), q.ravel()))
+            self.u[inner] += alpha * p
+            r -= alpha * q
+            delta_new = float(np.dot(r.ravel(), r.ravel()))
+            res.residual_norms.append(float(np.sqrt(delta_new)))
+            res.iterations = it
+            if res.residual_norms[-1] <= tolerance:
+                res.converged = True
+                break
+            p_pad[inner] = r + (delta_new / delta) * p
+            delta = delta_new
+        return res
+
+    def solution(self) -> np.ndarray:
+        return self.u[1:-1, 1:-1, 1:-1].copy()
+
+    def one_iteration_work(self) -> None:
+        """One CG iteration's kernels on scratch data (for timing)."""
+        q_pad = np.zeros_like(self.u)
+        apply_neg_laplacian(self.u, q_pad)
+        q = q_pad[(slice(1, -1),) * 3]
+        _ = float(np.dot(q.ravel(), q.ravel()))
+        self.u[(slice(1, -1),) * 3] += 1e-16 * q

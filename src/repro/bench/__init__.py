@@ -1,0 +1,19 @@
+"""Benchmark harness: metrics, table formatting, result persistence."""
+
+from .harness import format_table, sweep, wall_time
+from .metrics import lups, mlups, parallel_efficiency, speedup
+from .plot import ascii_plot
+from .report import load_result, save_result
+
+__all__ = [
+    "ascii_plot",
+    "format_table",
+    "load_result",
+    "lups",
+    "mlups",
+    "parallel_efficiency",
+    "save_result",
+    "speedup",
+    "sweep",
+    "wall_time",
+]

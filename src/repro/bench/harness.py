@@ -1,0 +1,47 @@
+"""Small harness utilities shared by the per-table/figure benchmarks."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render a compact, aligned text table (what the bench runs print)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e4 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def wall_time(fn: Callable[[], None], repeats: int = 3, warmup: int = 1) -> float:
+    """Best-of-N wall-clock seconds of ``fn`` (after warm-up runs)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sweep(values: Iterable, fn: Callable) -> list:
+    """Evaluate ``fn`` over a parameter axis, returning [(value, result)]."""
+    return [(v, fn(v)) for v in values]

@@ -1,0 +1,65 @@
+"""ASCII line plots for the regenerated paper figures.
+
+No plotting backends are available offline, so the harness renders
+efficiency curves and crossover charts as Unicode text — enough to *see*
+the Fig 7/8/9 shapes directly in the benchmark output and in
+EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    ylabel: str = "",
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Plot named (x, y) series on a shared text canvas.
+
+    Each series gets a marker from ``MARKERS``; a legend is appended.
+    X positions are mapped by value (not rank), so uneven sweeps render
+    proportionally.
+    """
+    if not series or all(not pts for pts in series.values()):
+        return "(no data)"
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x0, x1 = min(xs), max(xs)
+    if y_range is not None:
+        y0, y1 = y_range
+    else:
+        y0, y1 = min(ys), max(ys)
+        if y0 == y1:
+            y0, y1 = y0 - 0.5, y1 + 0.5
+        pad = 0.05 * (y1 - y0)
+        y0, y1 = y0 - pad, y1 + pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        col = 0 if x1 == x0 else int((x - x0) / (x1 - x0) * (width - 1))
+        row = height - 1 - int((min(max(y, y0), y1) - y0) / (y1 - y0) * (height - 1))
+        grid[row][col] = ch
+
+    for (name, pts), marker in zip(series.items(), MARKERS):
+        for x, y in sorted(pts):
+            put(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        yval = y1 - i * (y1 - y0) / (height - 1)
+        lines.append(f"{yval:8.3f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x0:<10.6g}{' ' * (width - 20)}{x1:>10.6g}")
+    legend = "   ".join(f"{m} {name}" for (name, _), m in zip(series.items(), MARKERS))
+    lines.append(" " * 10 + legend)
+    if ylabel:
+        lines.append(" " * 10 + f"(y: {ylabel})")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Domain abstraction: Grids, Fields, views, halos, stencils (paper IV-C)."""
+
+from . import geometry, validate
+from .dense_grid import DenseField, DenseFieldPartition, DenseGrid
+from .field import Field
+from .grid import Grid
+from .halo import HaloMsg, exchange_pairs
+from .layout import Layout
+from .partition import partition_imbalance, slab_partition, weighted_slab_partition
+from .sparse_grid import SparseField, SparseFieldPartition, SparseGrid
+from .stencil import (
+    D2Q9_STENCIL,
+    D3Q19_STENCIL,
+    STENCIL_7PT,
+    STENCIL_27PT,
+    Stencil,
+    box,
+    star,
+)
+from .views import DataView, DenseStrip, MultiSpan, SparseStrip
+
+__all__ = [
+    "D2Q9_STENCIL",
+    "D3Q19_STENCIL",
+    "STENCIL_7PT",
+    "STENCIL_27PT",
+    "DataView",
+    "DenseField",
+    "DenseFieldPartition",
+    "DenseGrid",
+    "DenseStrip",
+    "Field",
+    "Grid",
+    "HaloMsg",
+    "Layout",
+    "MultiSpan",
+    "SparseField",
+    "SparseFieldPartition",
+    "SparseGrid",
+    "SparseStrip",
+    "Stencil",
+    "box",
+    "exchange_pairs",
+    "geometry",
+    "validate",
+    "partition_imbalance",
+    "slab_partition",
+    "star",
+    "weighted_slab_partition",
+]

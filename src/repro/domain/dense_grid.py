@@ -1,0 +1,265 @@
+"""Dense grid: the whole bounding box is stored (paper IV-C2).
+
+Each device owns a contiguous slab of slices along axis 0, stored with
+``radius`` ghost slices on both ends.  Ghost slices hold halo data from
+the slab neighbours — or ``outside_value`` at the global domain border,
+which makes stencil reads across the border well defined without any
+branching in user code.
+
+An optional boolean activity mask supports free-form domains: the dense
+representation still *computes* on every box cell (that is exactly the
+dense-vs-sparse trade-off Fig 9 explores), but the mask is available to
+user kernels (e.g. as a 0/1 indicator field) and defines ``num_active``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system import Backend
+
+from .field import Field
+from .grid import Grid
+from .halo import HaloMsg, exchange_pairs
+from .layout import Layout
+from .partition import slab_partition
+from .stencil import Stencil
+from .views import DataView, DenseStrip, MultiSpan
+
+
+class DenseGrid(Grid):
+    """Full-box Cartesian grid with 1-D slab decomposition."""
+
+    indirection = 1.0
+
+    def __init__(
+        self,
+        backend: Backend,
+        shape: tuple[int, ...],
+        stencils: list[Stencil] | None = None,
+        mask: np.ndarray | None = None,
+        name: str = "",
+        virtual: bool = False,
+    ):
+        super().__init__(backend, shape, stencils, name or "dense", virtual)
+        self.bounds = slab_partition(shape[0], backend.num_devices)
+        self.lateral = int(np.prod(shape[1:]))
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != shape:
+                raise ValueError(f"mask shape {mask.shape} != grid shape {shape}")
+        self.mask = mask
+        self._num_active = int(mask.sum()) if mask is not None else self.num_cells
+        self._spans = [
+            {view: self._build_span(rank, view) for view in DataView} for rank in range(self.num_devices)
+        ]
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        return self._num_active
+
+    def local_slices(self, rank: int) -> int:
+        a, b = self.bounds[rank]
+        return b - a
+
+    def _edge_depths(self, rank: int) -> tuple[int, int]:
+        """Boundary depth on the (low, high) side — zero at the global border."""
+        lo = self.radius if rank > 0 else 0
+        hi = self.radius if rank < self.num_devices - 1 else 0
+        return lo, hi
+
+    def _build_span(self, rank: int, view: DataView):
+        n = self.local_slices(rank)
+        lo, hi = self._edge_depths(rank)
+        if view is DataView.STANDARD:
+            return DenseStrip(0, n, self.lateral)
+        if view is DataView.INTERNAL:
+            return DenseStrip(lo, n - hi, self.lateral)
+        strips = []
+        if lo:
+            strips.append(DenseStrip(0, lo, self.lateral))
+        if hi:
+            strips.append(DenseStrip(n - hi, n, self.lateral))
+        return MultiSpan(strips)
+
+    def span_for(self, rank: int, view: DataView):
+        return self._spans[rank][view]
+
+    # -- fields ------------------------------------------------------------------
+    def new_field(
+        self,
+        name: str,
+        cardinality: int = 1,
+        dtype=np.float64,
+        outside_value: float = 0.0,
+        layout: Layout = Layout.SOA,
+    ) -> "DenseField":
+        return DenseField(self, name, cardinality, dtype, outside_value, layout)
+
+    def mask_field(self, name: str = "mask") -> "DenseField":
+        """0/1 indicator field of the activity mask (1 everywhere if no mask)."""
+        f = self.new_field(name, cardinality=1, outside_value=0.0)
+        if self.virtual:
+            return f
+        if self.mask is None:
+            f.fill(1.0)
+        else:
+            for rank in range(self.num_devices):
+                a, b = self.bounds[rank]
+                f.partition(rank).view(self.span_for(rank, DataView.STANDARD))[...] = self.mask[a:b].astype(
+                    f.dtype
+                )
+        f.sync_halo_now()
+        return f
+
+
+class DenseFieldPartition:
+    """Rank-local vectorised accessor for a dense field."""
+
+    def __init__(self, field: "DenseField", rank: int):
+        self.field = field
+        self.rank = rank
+        grid = field.grid
+        self.h = grid.radius
+        self.outside_value = field.outside_value
+        self.storage = field.buffers[rank].array  # None when virtual
+        self._global_start = grid.bounds[rank][0]
+        self._lateral_shape = grid.shape[1:]
+
+    def _comp(self, comp: int) -> np.ndarray:
+        if self.field.layout is Layout.SOA:
+            return self.storage[comp]
+        return self.storage[..., comp]
+
+    def view(self, span: DenseStrip, comp: int = 0) -> np.ndarray:
+        """Writable view of one component over the span's owned cells."""
+        return self._comp(comp)[self.h + span.lo : self.h + span.hi]
+
+    def view_all(self, span: DenseStrip) -> np.ndarray:
+        """Writable component-first view, layout independent."""
+        if self.field.layout is Layout.SOA:
+            return self.storage[:, self.h + span.lo : self.h + span.hi]
+        return np.moveaxis(self.storage[self.h + span.lo : self.h + span.hi], -1, 0)
+
+    def neighbour(self, span: DenseStrip, offset: tuple[int, ...], comp: int = 0) -> np.ndarray:
+        """Read-only neighbour values at ``offset`` for every cell in the span.
+
+        Reads across the partition edge resolve to halo slots (filled by
+        the last halo update); reads across the global border resolve to
+        ``outside_value``.
+        """
+        d0, *lateral = offset
+        if abs(d0) > self.h:
+            raise ValueError(
+                f"offset {offset} exceeds halo radius {self.h} of grid '{self.field.grid.name}'"
+            )
+        src = self._comp(comp)
+        block = src[self.h + span.lo + d0 : self.h + span.hi + d0]
+        if not any(lateral):
+            return block
+        out = np.full(block.shape, self.outside_value, dtype=self.field.dtype)
+        src_ix: list[slice] = [slice(None)]
+        dst_ix: list[slice] = [slice(None)]
+        for d, size in zip(lateral, self._lateral_shape):
+            src_ix.append(slice(max(d, 0), size + min(d, 0)))
+            dst_ix.append(slice(max(-d, 0), size + min(-d, 0)))
+        out[tuple(dst_ix)] = block[tuple(src_ix)]
+        return out
+
+    def coords(self, span: DenseStrip) -> tuple[np.ndarray, ...]:
+        """Broadcastable global coordinates of the span's cells."""
+        ndim = self.field.grid.ndim
+        axis0 = np.arange(self._global_start + span.lo, self._global_start + span.hi)
+        arrays = [axis0] + [np.arange(s) for s in self._lateral_shape]
+        out = []
+        for axis, arr in enumerate(arrays):
+            shape = [1] * ndim
+            shape[axis] = len(arr)
+            out.append(arr.reshape(shape))
+        return tuple(out)
+
+
+class DenseField(Field):
+    """Field stored over the full bounding box, with ghost slices."""
+
+    def __init__(self, grid: DenseGrid, name, cardinality, dtype, outside_value, layout):
+        super().__init__(grid, name, cardinality, dtype, outside_value, layout)
+        h = grid.radius
+        for rank in range(grid.num_devices):
+            n = grid.local_slices(rank) + 2 * h
+            cells = (n, *grid.shape[1:])
+            shape = (cardinality, *cells) if layout is Layout.SOA else (*cells, cardinality)
+            buf = grid.backend.allocate(rank, shape, dtype, virtual=grid.virtual)
+            if buf.array is not None:
+                buf.array[...] = outside_value
+            self.buffers.append(buf)
+
+    def partition(self, rank: int) -> DenseFieldPartition:
+        return DenseFieldPartition(self, rank)
+
+    def fill(self, value, comp: int | None = None) -> None:
+        self._require_storage()
+        for rank in range(self.num_devices):
+            part = self.partition(rank)
+            span = self.grid.span_for(rank, DataView.STANDARD)
+            if comp is None:
+                part.view_all(span)[...] = value
+            else:
+                part.view(span, comp)[...] = value
+
+    def init(self, fn, comp: int | None = None) -> None:
+        self._require_storage()
+        for rank in range(self.num_devices):
+            part = self.partition(rank)
+            span = self.grid.span_for(rank, DataView.STANDARD)
+            values = fn(*part.coords(span))
+            comps = range(self.cardinality) if comp is None else [comp]
+            for c in comps:
+                part.view(span, c)[...] = values
+        self.sync_halo_now()
+
+    def to_numpy(self) -> np.ndarray:
+        self._require_storage()
+        out = np.full((self.cardinality, *self.grid.shape), self.outside_value, dtype=self.dtype)
+        for rank in range(self.num_devices):
+            a, b = self.grid.bounds[rank]
+            span = self.grid.span_for(rank, DataView.STANDARD)
+            out[:, a:b] = self.partition(rank).view_all(span)
+        return out
+
+    def halo_messages(self) -> list[HaloMsg]:
+        h = self.grid.radius
+        if h == 0 or self.num_devices == 1:
+            return []
+        msgs: list[HaloMsg] = []
+        lateral_cells = self.grid.lateral
+        per_comp = self.layout is Layout.SOA and self.cardinality > 1
+        comps = range(self.cardinality) if per_comp else [None]
+        slab_bytes = h * lateral_cells * self.dtype.itemsize * (1 if per_comp else self.cardinality)
+        for src, dst in exchange_pairs(self.num_devices):
+            n_src = self.grid.local_slices(src)
+            n_dst = self.grid.local_slices(dst)
+            if dst == src + 1:
+                src_sl = slice(n_src, n_src + h)  # top owned slices (storage offset +h folds in)
+                dst_sl = slice(0, h)  # low halo slots
+            else:
+                src_sl = slice(h, 2 * h)  # low owned slices
+                dst_sl = slice(n_dst + h, n_dst + 2 * h)  # high halo slots
+            for c in comps:
+                name = f"halo:{self.name}" + (f".{c}" if c is not None else "") + f":{src}->{dst}"
+                if self.virtual:
+                    fn = lambda: None  # noqa: E731
+                else:
+                    sp, dp = self.partition(src), self.partition(dst)
+                    if c is None and self.layout is Layout.AOS:
+                        s_arr, d_arr = sp.storage, dp.storage
+                    else:
+                        cc = 0 if c is None else c
+                        s_arr, d_arr = sp._comp(cc), dp._comp(cc)
+
+                    def fn(s_arr=s_arr, d_arr=d_arr, src_sl=src_sl, dst_sl=dst_sl):
+                        np.copyto(d_arr[dst_sl], s_arr[src_sl])
+
+                msgs.append(HaloMsg(name, src, dst, slab_bytes, fn))
+        return msgs

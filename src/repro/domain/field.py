@@ -1,0 +1,111 @@
+"""Field: metadata attached to every active cell of a Grid (paper IV-C2).
+
+A Field extends the Set level's Multi-GPU data interface with
+domain-specific capabilities: view-restricted vectorised access to cell
+metadata, read-only neighbour access along registered stencil offsets
+(the own-compute rule), and the explicit halo coherency model.
+
+New fields start with every entry — owned cells and halo slots — equal
+to ``outside_value``, so stencil reads across the global domain border
+are well-defined before any user initialisation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.sets.dataset import MultiDeviceData
+from repro.system import DeviceBuffer
+
+from .halo import HaloMsg
+from .layout import Layout
+from .views import DataView
+
+
+class Field(MultiDeviceData, abc.ABC):
+    """Per-cell scalar or vector metadata over a Grid."""
+
+    def __init__(self, grid, name: str, cardinality: int, dtype, outside_value: float, layout: Layout):
+        super().__init__(name)
+        if cardinality < 1:
+            raise ValueError("cardinality must be >= 1")
+        self.grid = grid
+        self.cardinality = cardinality
+        self.dtype = np.dtype(dtype)
+        self.outside_value = outside_value
+        self.layout = layout
+        self.buffers: list[DeviceBuffer] = []
+
+    # -- MultiDeviceData ----------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return self.grid.num_devices
+
+    def span_for(self, rank: int, view: DataView):
+        return self.grid.span_for(rank, view)
+
+    @property
+    def bytes_per_cell(self) -> int:
+        return self.dtype.itemsize * self.cardinality
+
+    @property
+    def virtual(self) -> bool:
+        return self.grid.virtual
+
+    # -- domain interface -----------------------------------------------------
+    @abc.abstractmethod
+    def partition(self, rank: int):
+        """Rank-local accessor used inside compute lambdas."""
+
+    @abc.abstractmethod
+    def halo_messages(self) -> list[HaloMsg]:
+        """The explicit transfers one haloUpdate of this field performs."""
+
+    @abc.abstractmethod
+    def to_numpy(self) -> np.ndarray:
+        """Global array of shape ``(cardinality, *grid.shape)``.
+
+        Inactive/outside cells read as ``outside_value``.
+        """
+
+    @abc.abstractmethod
+    def fill(self, value, comp: int | None = None) -> None:
+        """Set owned cells (every component, or one) to a constant."""
+
+    @abc.abstractmethod
+    def init(self, fn, comp: int | None = None) -> None:
+        """Set owned cells from ``fn(*coords)`` and refresh halos.
+
+        ``fn`` receives one broadcastable global-coordinate array per
+        grid axis and must return values broadcastable to the cells'
+        shape — the same callable works on dense and sparse grids.
+        """
+
+    def _require_storage(self) -> None:
+        if self.virtual:
+            raise RuntimeError(f"field '{self.name}' is virtual (planning-only); it has no payload")
+
+    def sync_halo_now(self) -> None:
+        """Eagerly run a full halo update (init-time convenience).
+
+        Inside a Skeleton, halo updates are scheduled automatically; this
+        helper is for Set-level code and for making stencil reads valid
+        right after ``init``/``fill``.
+        """
+        for msg in self.halo_messages():
+            q = self.grid.backend.new_queue(msg.src_rank, name=f"halo:{self.name}")
+            q.enqueue_copy(
+                msg.name,
+                msg.fn,
+                self.grid.backend.device(msg.src_rank),
+                self.grid.backend.device(msg.dst_rank),
+                msg.nbytes,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}({self.name}, card={self.cardinality}, "
+            f"dtype={self.dtype}, layout={self.layout.value})"
+        )

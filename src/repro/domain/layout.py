@@ -1,0 +1,21 @@
+"""Memory layouts for vector fields: Structure-of-Arrays vs Array-of-Structures.
+
+The paper exposes layout as a Field property switchable without touching
+application code; it matters for halo traffic (an SoA field of
+cardinality n needs 2n transfers per partition, an AoS field 2) and for
+per-component access locality.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Layout(enum.Enum):
+    """Vector-field memory organisation: Structure-of-Arrays or Array-of-Structures."""
+
+    SOA = "soa"
+    AOS = "aos"
+
+    def component_axis_first(self) -> bool:
+        return self is Layout.SOA

@@ -1,0 +1,88 @@
+"""Domain partitioning along the outermost axis (paper IV-C2).
+
+On single-node multi-GPU systems the device count is small, so both
+grids decompose the Cartesian box on one dimension only — each device
+then talks to at most two neighbours and boundary metadata stays
+contiguous.  Dense grids split the axis into near-equal slabs; sparse
+grids split it so every device receives a near-equal number of *active*
+cells (the load-balancing the Domain level adds on top of MemSet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def slab_partition(extent: int, num_parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, extent)`` into ``num_parts`` contiguous near-equal slabs.
+
+    The first ``extent % num_parts`` slabs get one extra slice, matching
+    the usual block distribution.  Every slab is non-empty, so ``extent``
+    must be at least ``num_parts``.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    if extent < num_parts:
+        raise ValueError(f"cannot split extent {extent} into {num_parts} non-empty slabs")
+    base, extra = divmod(extent, num_parts)
+    bounds = []
+    start = 0
+    for r in range(num_parts):
+        stop = start + base + (1 if r < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def weighted_slab_partition(
+    weights: np.ndarray, num_parts: int, min_size: int = 1
+) -> list[tuple[int, int]]:
+    """Split slices ``[0, len(weights))`` into contiguous slabs of near-equal weight.
+
+    ``weights[i]`` is the load of slice ``i`` (for a sparse grid: its
+    active-cell count).  Greedy prefix cutting at ideal quantiles.  Every
+    slab gets at least ``min_size`` slices — a grid with halo radius ``h``
+    needs slabs of at least ``2h`` so its low and high boundary regions
+    stay disjoint.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    extent = len(weights)
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    if min_size < 1:
+        raise ValueError("min_size must be >= 1")
+    if extent < num_parts * min_size:
+        raise ValueError(
+            f"cannot split {extent} slices into {num_parts} slabs of at least {min_size} slices"
+        )
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(weights.sum())
+    if total == 0.0:
+        return slab_partition(extent, num_parts)
+
+    prefix = np.concatenate([[0.0], np.cumsum(weights)])
+    bounds = []
+    start = 0
+    for r in range(num_parts):
+        if r == num_parts - 1:
+            stop = extent
+        else:
+            target = total * (r + 1) / num_parts
+            stop = int(np.searchsorted(prefix, target, side="left"))
+            # honour the minimum slab size here and for the remaining parts
+            stop = max(stop, start + min_size)
+            stop = min(stop, extent - (num_parts - 1 - r) * min_size)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def partition_imbalance(weights: np.ndarray, bounds: list[tuple[int, int]]) -> float:
+    """Max-over-mean load ratio of a partitioning (1.0 = perfect balance)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    loads = [float(weights[a:b].sum()) for a, b in bounds]
+    mean = sum(loads) / len(loads)
+    if mean == 0.0:
+        return 1.0
+    return max(loads) / mean

@@ -1,0 +1,97 @@
+"""Stencil shapes: the neighbourhoods grid computations gather from.
+
+A stencil is an ordered set of integer offsets.  The Grid uses the union
+of all registered stencils to size halo regions and to classify cells as
+internal vs boundary (paper IV-C1: "The size of the halos are computed
+based on the union of all the stencils").
+
+Offsets are tuples whose length equals the grid dimensionality, with
+axis 0 being the partitioned axis (z for 3-D grids, rows for 2-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """A named set of relative neighbour offsets."""
+
+    name: str
+    offsets: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.offsets:
+            raise ValueError(f"stencil '{self.name}' has no offsets")
+        ndims = {len(o) for o in self.offsets}
+        if len(ndims) != 1:
+            raise ValueError(f"stencil '{self.name}' mixes offset dimensionalities: {ndims}")
+        if len(set(self.offsets)) != len(self.offsets):
+            raise ValueError(f"stencil '{self.name}' has duplicate offsets")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.offsets[0])
+
+    @property
+    def radius(self) -> int:
+        """Halo depth along the partitioned axis (axis 0)."""
+        return max(abs(o[0]) for o in self.offsets)
+
+    @property
+    def size(self) -> int:
+        return len(self.offsets)
+
+    def __iter__(self):
+        return iter(self.offsets)
+
+    def union(self, other: "Stencil") -> "Stencil":
+        if other.ndim != self.ndim:
+            raise ValueError(f"cannot union {self.ndim}-D and {other.ndim}-D stencils")
+        merged = tuple(dict.fromkeys(self.offsets + other.offsets))
+        return Stencil(f"{self.name}|{other.name}", merged)
+
+
+def star(radius: int = 1, ndim: int = 3, include_center: bool = True) -> Stencil:
+    """Von-Neumann (face-neighbour) stencil, e.g. the 7-point Laplacian."""
+    if radius < 1 or ndim < 1:
+        raise ValueError("radius and ndim must be positive")
+    offsets: list[tuple[int, ...]] = [(0,) * ndim] if include_center else []
+    for axis in range(ndim):
+        for r in range(1, radius + 1):
+            for sign in (-r, r):
+                o = [0] * ndim
+                o[axis] = sign
+                offsets.append(tuple(o))
+    return Stencil(f"star{len(offsets)}_{ndim}d", tuple(offsets))
+
+
+def box(radius: int = 1, ndim: int = 3, include_center: bool = True) -> Stencil:
+    """Moore (full-box) stencil, e.g. the 27-point FEM neighbourhood."""
+    if radius < 1 or ndim < 1:
+        raise ValueError("radius and ndim must be positive")
+    offsets = [o for o in itertools.product(range(-radius, radius + 1), repeat=ndim)]
+    if not include_center:
+        offsets.remove((0,) * ndim)
+    return Stencil(f"box{len(offsets)}_{ndim}d", tuple(offsets))
+
+
+STENCIL_7PT = star(1, 3)
+"""7-point stencil (center + 6 face neighbours) for the FD Poisson solver."""
+
+STENCIL_27PT = box(1, 3)
+"""27-point stencil for the matrix-free FEM linear-elastic solver."""
+
+# D3Q19 lattice: center + 6 face + 12 edge velocities (no corners).
+_D3Q19 = tuple(
+    o
+    for o in itertools.product((-1, 0, 1), repeat=3)
+    if sum(abs(c) for c in o) <= 2
+)
+D3Q19_STENCIL = Stencil("d3q19", _D3Q19)
+"""The 19 lattice directions of the D3Q19 LBM velocity set."""
+
+D2Q9_STENCIL = Stencil("d2q9", tuple(itertools.product((-1, 0, 1), repeat=2)))
+"""The 9 lattice directions of the D2Q9 LBM velocity set."""

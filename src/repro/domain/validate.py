@@ -1,0 +1,98 @@
+"""Structural invariant checkers for grids (debug/QA tooling).
+
+These verify the properties the rest of the system silently relies on:
+the sparse connectivity table's symmetry, halo block consistency between
+neighbouring partitions, and view partitioning.  Tests use them, and
+applications can call them after building exotic domains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dense_grid import DenseGrid
+from .sparse_grid import SparseGrid
+from .views import DataView
+
+
+def check_views_partition_cells(grid) -> None:
+    """STANDARD = INTERNAL + BOUNDARY on every rank, disjointly."""
+    for rank in range(grid.num_devices):
+        std = grid.span_for(rank, DataView.STANDARD).count
+        i = grid.span_for(rank, DataView.INTERNAL).count
+        b = grid.span_for(rank, DataView.BOUNDARY).count
+        if std != i + b:
+            raise AssertionError(f"rank {rank}: standard({std}) != internal({i}) + boundary({b})")
+
+
+def check_sparse_connectivity(grid: SparseGrid) -> None:
+    """Connectivity invariants of the element-sparse grid.
+
+    * every index points inside the partition's owned+halo range,
+    * the centre offset maps each cell to itself,
+    * within the owned block, connectivity is symmetric: if following
+      offset ``o`` from cell ``i`` lands on owned cell ``j``, following
+      ``-o`` from ``j`` lands back on ``i``.
+    """
+    if grid.virtual:
+        raise ValueError("cannot check a virtual grid's connectivity")
+    if grid.stencil is None:
+        return
+    centre = grid.offset_row.get((0,) * grid.ndim)
+    for rank in range(grid.num_devices):
+        conn = grid.conn[rank]
+        n_owned = grid.n_owned[rank]
+        if conn.min() < -1 or conn.max() >= grid.n_total(rank):
+            raise AssertionError(f"rank {rank}: connectivity index out of range")
+        if centre is not None and not np.array_equal(conn[centre], np.arange(n_owned)):
+            raise AssertionError(f"rank {rank}: centre offset is not the identity")
+        for off, row in grid.offset_row.items():
+            neg = grid.offset_row.get(tuple(-o for o in off))
+            if neg is None:
+                continue
+            fwd = conn[row]
+            for i in np.nonzero((fwd >= 0) & (fwd < n_owned))[0]:
+                j = fwd[i]
+                if conn[neg, j] != i:
+                    raise AssertionError(
+                        f"rank {rank}: asymmetric connectivity {i} --{off}--> {j} but not back"
+                    )
+
+
+def check_halo_blocks_consistent(grid: SparseGrid) -> None:
+    """Halo block sizes must mirror the neighbours' boundary blocks and
+    the referenced cells must be the same global cells in the same order."""
+    if grid.virtual:
+        raise ValueError("cannot check a virtual grid's halo blocks")
+    for r in range(grid.num_devices - 1):
+        if grid.n_halo_lo[r + 1] != grid.n_bnd_hi[r]:
+            raise AssertionError(f"halo_lo[{r + 1}] != bnd_hi[{r}]")
+        if grid.n_halo_hi[r] != grid.n_bnd_lo[r + 1]:
+            raise AssertionError(f"halo_hi[{r}] != bnd_lo[{r + 1}]")
+
+
+def check_dense_ghosts(grid: DenseGrid, field) -> None:
+    """After a halo update, ghost slices must equal the neighbour's owned
+    boundary slices; global-border ghosts must hold the outside value."""
+    h = grid.radius
+    if h == 0:
+        return
+    for rank in range(grid.num_devices):
+        part = field.partition(rank)
+        storage = part._comp(0)
+        if rank == 0:
+            if not np.all(storage[:h] == field.outside_value):
+                raise AssertionError("rank 0 low ghosts must hold the outside value")
+        else:
+            nb = field.partition(rank - 1)
+            n_nb = grid.local_slices(rank - 1)
+            if not np.array_equal(storage[:h], nb._comp(0)[n_nb : n_nb + h]):
+                raise AssertionError(f"rank {rank}: low ghosts stale")
+        n = grid.local_slices(rank)
+        if rank == grid.num_devices - 1:
+            if not np.all(storage[n + h :] == field.outside_value):
+                raise AssertionError("last rank high ghosts must hold the outside value")
+        else:
+            nb = field.partition(rank + 1)
+            if not np.array_equal(storage[n + h : n + 2 * h], nb._comp(0)[h : 2 * h]):
+                raise AssertionError(f"rank {rank}: high ghosts stale")

@@ -1,0 +1,71 @@
+"""Grid spans: the concrete index subspaces behind each DataView.
+
+A view-restricted Container launch covers either one contiguous strip of
+the partition (STANDARD, INTERNAL) or two disjoint strips (BOUNDARY: the
+low and high edge of the slab).  ``Span.pieces()`` exposes the strips so
+the launcher can invoke the compute lambda once per contiguous piece.
+
+Dense strips index *slices* along the partitioned axis (each slice holds
+``lateral`` cells); sparse strips index *cells* directly, because the
+element-sparse layout orders cells as [low-boundary | internal |
+high-boundary] precisely so that views stay contiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sets.dataset import Span
+from repro.sets.views import DataView
+
+__all__ = ["DataView", "DenseStrip", "SparseStrip", "MultiSpan", "EMPTY_SPAN"]
+
+
+@dataclass(frozen=True)
+class DenseStrip(Span):
+    """Slices ``[lo, hi)`` of a dense slab (local coordinates, halo excluded)."""
+
+    lo: int
+    hi: int
+    lateral: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo or self.lateral < 1:
+            raise ValueError(f"invalid DenseStrip({self.lo}, {self.hi}, {self.lateral})")
+
+    @property
+    def count(self) -> int:
+        return (self.hi - self.lo) * self.lateral
+
+
+@dataclass(frozen=True)
+class SparseStrip(Span):
+    """Cells ``[lo, hi)`` of a sparse partition's owned-cell array."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise ValueError(f"invalid SparseStrip({self.lo}, {self.hi})")
+
+    @property
+    def count(self) -> int:
+        return self.hi - self.lo
+
+
+class MultiSpan(Span):
+    """Union of disjoint strips (the BOUNDARY view's low+high edges)."""
+
+    def __init__(self, strips: list[Span]):
+        self._strips = [s for s in strips if not s.is_empty]
+
+    @property
+    def count(self) -> int:
+        return sum(s.count for s in self._strips)
+
+    def pieces(self) -> list[Span]:
+        return list(self._strips)
+
+
+EMPTY_SPAN = MultiSpan([])

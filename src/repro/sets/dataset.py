@@ -1,0 +1,91 @@
+"""Multi-device data: the Set abstraction's core interface.
+
+Everything the Set level does is "a vector indexed by device rank".
+:class:`MultiDeviceData` is the abstract interface the paper describes in
+section IV-B1: it creates one partition per device and exposes an
+index-based way to address each partition, without constraining how the
+partition is laid out.  :class:`DataSet` is the trivial container for
+plain per-device Python objects (used for multi-streams, partial-result
+buffers, launch parameters, ...).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Generic, TypeVar
+
+from .views import DataView
+
+T = TypeVar("T")
+
+_data_uids = itertools.count()
+
+
+class DataSet(Generic[T]):
+    """A plain vector of per-device values."""
+
+    def __init__(self, values: list[T]):
+        if not values:
+            raise ValueError("DataSet cannot be empty")
+        self._values = list(values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, rank: int) -> T:
+        return self._values[rank]
+
+    def __setitem__(self, rank: int, value: T) -> None:
+        self._values[rank] = value
+
+    def __iter__(self):
+        return iter(self._values)
+
+
+class Span(abc.ABC):
+    """An index subspace of one partition (opaque to the Set level)."""
+
+    @property
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Number of cells/elements covered."""
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def pieces(self) -> list["Span"]:
+        """Contiguous sub-spans; a BOUNDARY grid view has two (low/high strip)."""
+        return [self]
+
+
+class MultiDeviceData(abc.ABC):
+    """Data partitioned and distributed over the devices of a backend.
+
+    Implementations must provide per-rank spans for each
+    :class:`~repro.sets.views.DataView` so that Containers created from
+    them can be launched view-restricted, plus the byte/flop densities
+    the cost model needs.
+    """
+
+    def __init__(self, name: str = ""):
+        self.uid = next(_data_uids)
+        self.name = name or f"data{self.uid}"
+
+    @property
+    @abc.abstractmethod
+    def num_devices(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def span_for(self, rank: int, view: DataView) -> Span:
+        """Index subspace of partition ``rank`` restricted to ``view``."""
+
+    @property
+    @abc.abstractmethod
+    def bytes_per_cell(self) -> int:
+        """Bytes one cell of this data occupies (cardinality included)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"

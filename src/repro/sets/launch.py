@@ -1,0 +1,54 @@
+"""Launch helpers: cost estimation for view-restricted Container launches.
+
+The DES needs a :class:`~repro.system.queue.KernelCost` per launch.  We
+derive it from the Container's access tokens, the launch view's cell
+count, and the data's per-cell byte density — the same roofline inputs a
+performance engineer would read off the kernel.
+"""
+
+from __future__ import annotations
+
+from repro.system import KernelCost
+
+from .dataset import MultiDeviceData
+from .loader import Access, AccessToken, Pattern
+from .views import DataView
+
+
+def estimate_cost(
+    index_data: MultiDeviceData,
+    tokens: list[AccessToken],
+    rank: int,
+    view: DataView,
+    flops_per_cell: float = 0.0,
+    stencil_read_redundancy: float = 1.0,
+) -> KernelCost:
+    """Roofline inputs for one Container launch on one device.
+
+    Per active cell we count one read of every read-loaded field (a
+    stencil read is multiplied by ``stencil_read_redundancy`` to model
+    imperfect cache reuse of neighbour loads) and one write of every
+    written field.  Reduce partials are per-launch, not per-cell, and are
+    negligible, so they are skipped.
+    """
+    span = index_data.span_for(rank, view)
+    ncells = span.count
+    bytes_per_cell = 0.0
+    for tok in tokens:
+        if tok.pattern is Pattern.REDUCE:
+            continue
+        density = tok.data.bytes_per_cell
+        if tok.access.reads:
+            factor = stencil_read_redundancy if tok.pattern is Pattern.STENCIL else 1.0
+            bytes_per_cell += density * factor
+        if tok.access.writes:
+            bytes_per_cell += density
+    return KernelCost(
+        bytes_moved=ncells * bytes_per_cell,
+        flops=ncells * flops_per_cell,
+        indirection=getattr(index_data, "indirection", 1.0),
+        launches=max(1, len(span.pieces())),
+    )
+
+
+__all__ = ["estimate_cost", "Access", "Pattern"]

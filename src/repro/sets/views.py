@@ -1,0 +1,23 @@
+"""Data views: which slice of a partition a Container launch covers.
+
+The paper's Grid categorises cells by their dependency on remote data
+(Fig 3): *internal* cells need only local data, *boundary* cells read
+halo data received from neighbour partitions, and *standard* is their
+union.  Launching the same Container restricted to INTERNAL vs BOUNDARY
+is the primitive every OCC optimisation is built from.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DataView(enum.Enum):
+    """Which cells of a partition a launch covers (paper Fig 3)."""
+
+    STANDARD = "standard"
+    INTERNAL = "internal"
+    BOUNDARY = "boundary"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

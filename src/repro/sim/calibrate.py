@@ -1,0 +1,76 @@
+"""Fitting a machine model from measurements.
+
+A user with real hardware bridges this reproduction to their system by
+fitting :class:`~repro.sim.machine.DeviceSpec` / link parameters from a
+handful of timed kernels and transfers.  Bandwidth-bound grid kernels
+follow ``t = launches * overhead + bytes / bandwidth`` and transfers
+``t = latency + bytes / bandwidth`` — both linear in their unknowns'
+reciprocals, so an ordinary least-squares fit suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import DeviceSpec
+from .topology import Link
+
+
+@dataclass(frozen=True)
+class KernelSample:
+    """One measured kernel: DRAM traffic, launch count, duration."""
+
+    bytes_moved: float
+    launches: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class TransferSample:
+    """One measured transfer: size and duration."""
+
+    nbytes: float
+    seconds: float
+
+
+def fit_device(samples: list[KernelSample], flops: float = 1e13) -> DeviceSpec:
+    """Least-squares fit of launch overhead and memory bandwidth.
+
+    Needs at least two samples with distinct byte/launch ratios (e.g. a
+    tiny kernel and a large one).  ``flops`` is passed through, since
+    bandwidth-bound samples carry no arithmetic information.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two kernel samples")
+    A = np.array([[s.launches, s.bytes_moved] for s in samples], dtype=np.float64)
+    t = np.array([s.seconds for s in samples])
+    coeffs, *_ = np.linalg.lstsq(A, t, rcond=None)
+    overhead, inv_bw = coeffs
+    if inv_bw <= 0:
+        raise ValueError("samples do not exhibit bandwidth-bound scaling (non-positive 1/bw)")
+    overhead = max(0.0, float(overhead))
+    return DeviceSpec(mem_bandwidth=1.0 / float(inv_bw), flops=flops, launch_overhead=overhead)
+
+
+def fit_link(samples: list[TransferSample]) -> Link:
+    """Least-squares fit of link latency and bandwidth."""
+    if len(samples) < 2:
+        raise ValueError("need at least two transfer samples")
+    A = np.array([[1.0, s.nbytes] for s in samples], dtype=np.float64)
+    t = np.array([s.seconds for s in samples])
+    coeffs, *_ = np.linalg.lstsq(A, t, rcond=None)
+    latency, inv_bw = coeffs
+    if inv_bw <= 0:
+        raise ValueError("samples do not exhibit size-proportional transfer times")
+    return Link(bandwidth=1.0 / float(inv_bw), latency=max(0.0, float(latency)))
+
+
+def fit_quality(samples: list[KernelSample], spec: DeviceSpec) -> float:
+    """Relative RMS error of a fitted device model on its samples."""
+    errs = []
+    for s in samples:
+        pred = s.launches * spec.launch_overhead + s.bytes_moved / spec.mem_bandwidth
+        errs.append((pred - s.seconds) / s.seconds)
+    return float(np.sqrt(np.mean(np.square(errs))))

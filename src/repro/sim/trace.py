@@ -1,0 +1,121 @@
+"""Execution traces produced by the discrete-event simulator.
+
+A trace is a list of :class:`Span` records, one per simulated command,
+carrying enough structure to compute the makespan, per-resource busy
+time, and communication/computation overlap — the quantities behind the
+paper's Fig 7/8 efficiency analysis (e.g. "communication is 49% of the
+iteration at 192^3 but 10% at 512^3").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class SpanKind(Enum):
+    """What occupied the resource: a kernel, a DMA copy, or a sync no-op."""
+
+    KERNEL = "kernel"
+    COPY = "copy"
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class Span:
+    kind: SpanKind
+    name: str
+    queue: str
+    device: int
+    resource: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Timeline of one simulated execution."""
+
+    def __init__(self, spans: list[Span]):
+        self.spans = sorted(spans, key=lambda s: (s.start, s.end, s.queue))
+
+    @property
+    def makespan(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def kind_time(self, kind: SpanKind) -> float:
+        """Total busy time of a kind, summed over resources (can exceed makespan)."""
+        return sum(s.duration for s in self.spans if s.kind is kind)
+
+    def device_busy(self, device: int) -> float:
+        return sum(s.duration for s in self.spans if s.device == device and s.kind is SpanKind.KERNEL)
+
+    def copy_exposed_time(self) -> float:
+        """Wall-clock time during which a copy runs but no kernel does.
+
+        This is the communication cost that OCC failed to hide; zero means
+        perfect overlap.
+        """
+        edges: list[tuple[float, int, SpanKind]] = []
+        for s in self.spans:
+            if s.kind is SpanKind.SYNC or s.duration == 0:
+                continue
+            edges.append((s.start, +1, s.kind))
+            edges.append((s.end, -1, s.kind))
+        edges.sort(key=lambda e: (e[0], -e[1]))
+        exposed = 0.0
+        kernels = copies = 0
+        prev = 0.0
+        for t, delta, kind in edges:
+            if copies > 0 and kernels == 0:
+                exposed += t - prev
+            prev = t
+            if kind is SpanKind.KERNEL:
+                kernels += delta
+            else:
+                copies += delta
+        return exposed
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome ``chrome://tracing`` / Perfetto event list.
+
+        Each queue becomes a track (``tid``), each device a process
+        (``pid``); load the JSON dump of the returned list directly.
+        """
+        events = []
+        for s in self.spans:
+            if s.duration == 0:
+                continue
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.kind.value,
+                    "ph": "X",
+                    "ts": s.start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": f"device{s.device}",
+                    "tid": s.queue,
+                    "args": {"resource": s.resource},
+                }
+            )
+        return events
+
+    def gantt(self, width: int = 80) -> str:
+        """ASCII Gantt chart, one row per queue, for debugging schedules."""
+        if not self.spans:
+            return "(empty trace)"
+        total = self.makespan or 1.0
+        rows: dict[str, list[str]] = {}
+        for s in self.spans:
+            row = rows.setdefault(s.queue, [" "] * width)
+            a = min(width - 1, int(s.start / total * width))
+            b = min(width, max(a + 1, int(s.end / total * width)))
+            ch = {"kernel": "#", "copy": "=", "sync": "|"}[s.kind.value]
+            for i in range(a, b):
+                row[i] = ch
+        lines = [f"{name:>12} |{''.join(cells)}|" for name, cells in sorted(rows.items())]
+        lines.append(f"{'':>12}  makespan = {total:.3e} s  (# kernel, = copy, | sync)")
+        return "\n".join(lines)

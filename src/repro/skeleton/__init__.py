@@ -1,0 +1,44 @@
+"""Skeleton abstraction: dependency graphs, OCC, scheduling (paper V)."""
+
+from .depgraph import (
+    DepGraph,
+    DepKind,
+    GraphNode,
+    NodeKind,
+    Scope,
+    build_dependency_graph,
+    containers_to_nodes,
+)
+from .executor import DependencyViolation, check_trace_dependencies, simulate_result
+from .mgraph import build_multi_gpu_graph, expand_with_halo_nodes
+from .occ import Occ, OccReport, apply_occ
+from .scheduler import ExecutionResult, Plan, ScheduleStats
+from .skeleton import Skeleton
+from .unroll import steady_state_iteration_time, unroll, unrolled_skeleton
+from .viz import graph_to_dot
+
+__all__ = [
+    "DepGraph",
+    "DepKind",
+    "DependencyViolation",
+    "ExecutionResult",
+    "GraphNode",
+    "NodeKind",
+    "Occ",
+    "OccReport",
+    "Plan",
+    "ScheduleStats",
+    "Scope",
+    "Skeleton",
+    "apply_occ",
+    "build_dependency_graph",
+    "build_multi_gpu_graph",
+    "check_trace_dependencies",
+    "containers_to_nodes",
+    "expand_with_halo_nodes",
+    "graph_to_dot",
+    "simulate_result",
+    "steady_state_iteration_time",
+    "unroll",
+    "unrolled_skeleton",
+]

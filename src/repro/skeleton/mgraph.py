@@ -1,0 +1,62 @@
+"""Multi-GPU graph construction (paper V-B, Fig 4c).
+
+Transforms the user's Container sequence into a graph that is correct on
+a multi-GPU back end: before every StencilOp whose read field has stale
+halos, a halo-update node is inserted.  Halo nodes read the field's
+payload (its boundary segments, on the source rank) and write the
+field's halo slots (on the destination rank); feeding the op sequence
+through the generic dependency builder then produces every required
+ordering — writer->halo (RaW), halo->stencil (RaW on the halo slots),
+stencil->next-writer (WaR) and halo->next-writer (WaR) — with the right
+per-rank scopes.
+"""
+
+from __future__ import annotations
+
+from repro.sets import Container, Pattern
+from repro.system import Backend
+
+from .depgraph import DepGraph, GraphNode, NodeKind, build_dependency_graph, containers_to_nodes
+
+
+def needs_halo_nodes(backend: Backend, field) -> bool:
+    """A field needs halo updates only if partitions actually exchange data."""
+    return backend.num_devices > 1 and field.grid.radius > 0
+
+
+def expand_with_halo_nodes(containers: list[Container], backend: Backend) -> list[GraphNode]:
+    """Insert halo-update ops before stencil ops with stale halos.
+
+    Coherency tracking: a field's halo starts *stale* (the Skeleton cannot
+    know what happened before it ran), becomes fresh after a halo update,
+    and stale again after any write to the field.  A second stencil read
+    with no intervening write reuses the fresh halo (no duplicate node).
+    """
+    ops: list[GraphNode] = []
+    fresh: set[int] = set()
+    for node in containers_to_nodes(containers):
+        for tok in node.container.tokens():
+            if tok.access.writes:
+                fresh.discard(tok.data.uid)
+        for tok in node.container.tokens():
+            if tok.pattern is not Pattern.STENCIL:
+                continue
+            fld = tok.data
+            if not needs_halo_nodes(backend, fld):
+                continue
+            if fld.uid in fresh:
+                continue
+            ops.append(GraphNode(name=f"halo({fld.name})", kind=NodeKind.HALO, halo_field=fld))
+            fresh.add(fld.uid)
+        ops.append(node)
+    return ops
+
+
+def build_multi_gpu_graph(containers: list[Container], backend: Backend) -> DepGraph:
+    """Halo-complete dependency graph, before OCC optimisation."""
+    if not containers:
+        raise ValueError("a skeleton needs at least one container")
+    names = [c.name for c in containers]
+    if len(set(names)) != len(names):
+        raise ValueError(f"container names must be unique within a skeleton, got {names}")
+    return build_dependency_graph(expand_with_halo_nodes(containers, backend))

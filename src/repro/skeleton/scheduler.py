@@ -1,0 +1,300 @@
+"""Scheduling a multi-GPU graph onto streams and events (paper V-C).
+
+The greedy three-phase algorithm of the paper:
+
+a) *Mapping nodes to streams* — BFS levels over the data-dependency
+   arrows; the widest level sets the stream count; nodes prefer a
+   parent's stream to save synchronisations.
+b) *Organising event synchronisation* — for every data dependency whose
+   producer and consumer pieces land on different queues, the producer
+   records a completion event and the consumer waits on it; same-queue
+   dependencies ride on stream FIFO order for free.
+c) *Task-list order* — BFS levels again, this time over data + hint
+   edges; the host enqueues tasks level by level, which is what turns
+   the OCC hints into an actual launch order.
+
+Everything is wired at *piece* granularity: a compute node contributes
+one piece per device rank (its view-restricted launch), a halo node one
+piece per transfer message.  Scopes on the graph edges say which ranks a
+dependency couples (same-rank for compute-compute, message source/
+destination for halo edges).  A piece that is empty on some rank (e.g. a
+BOUNDARY launch on a border device) is transparent: its dependencies
+flow through to its consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sets import Container, DataView, ReduceMode
+from repro.sets.loader import Loader
+from repro.system import Backend, CommandQueue, Event
+
+from .depgraph import DepGraph, GraphNode, NodeKind, Scope
+
+PieceKey = tuple  # ("c", node_uid, rank) | ("h", node_uid, msg_index)
+
+
+@dataclass
+class ScheduleStats:
+    num_streams: int = 0
+    num_kernels: int = 0
+    num_copies: int = 0
+    num_events: int = 0
+    num_waits: int = 0
+    waits_skipped_same_queue: int = 0
+    kernel_bytes: float = 0.0
+    kernel_flops: float = 0.0
+    copy_bytes: int = 0
+
+
+@dataclass
+class ExecutionResult:
+    queues: list[CommandQueue]
+    stats: ScheduleStats
+    plan: "Plan"
+
+
+def _launch_compute_piece(
+    container: Container,
+    queue: CommandQueue,
+    rank: int,
+    view: DataView,
+    reduce_mode: ReduceMode,
+    label: str,
+) -> bool:
+    """Enqueue one rank's view-restricted launch of a container."""
+    span = container.index_data.span_for(rank, view)
+    if span.is_empty:
+        return False
+    cost = container.cost_for(rank, view)
+    if getattr(container.index_data, "virtual", False):
+        kernel = lambda: None  # noqa: E731 - timing-only record
+    else:
+        loader = Loader(rank=rank, view=view, reduce_mode=reduce_mode)
+        compute = container.loading(loader)
+
+        def kernel(compute=compute, span=span):
+            for piece in span.pieces():
+                compute(piece)
+
+    queue.enqueue_kernel(label, kernel, cost)
+    return True
+
+
+class Plan:
+    """A compiled schedule for one multi-GPU graph on one backend.
+
+    ``execute()`` replays the schedule: it creates fresh queues/events,
+    enqueues every piece with its event wiring, and (on an eager backend)
+    thereby runs the computation.  The returned queues feed the DES.
+    """
+
+    def __init__(self, graph: DepGraph, backend: Backend, reuse_parent_streams: bool = True):
+        self.graph = graph
+        self.backend = backend
+        self.reuse_parent_streams = reuse_parent_streams
+        self.levels = graph.bfs_levels(with_hints=False)
+        self.num_streams = max(len(lvl) for lvl in self.levels)
+        self.stream_of: dict[int, int] = {}
+        self._assign_streams()
+        self.order: list[GraphNode] = [n for lvl in graph.bfs_levels(with_hints=True) for n in lvl]
+        self._nodes_by_uid: dict[int, GraphNode] = {n.uid: n for n in graph.nodes}
+        self._halo_msgs: dict[int, list] = {
+            n.uid: n.halo_field.halo_messages() for n in graph.nodes if n.kind is NodeKind.HALO
+        }
+        self._pieces: dict[int, list[PieceKey]] = {}
+        self._empty: set[PieceKey] = set()
+        self._build_pieces()
+        self._raw_deps: dict[PieceKey, set[PieceKey]] = {}
+        self._build_raw_deps()
+        self._deps: dict[PieceKey, set[PieceKey]] = {}
+        self._resolve_empty_pieces()
+
+    # -- phase a: stream mapping ----------------------------------------------
+    def _assign_streams(self) -> None:
+        for li, level in enumerate(self.levels):
+            used: set[int] = set()
+            for node in level:
+                choice = None
+                if self.reuse_parent_streams:
+                    # prefer a parent's stream: a same-stream dependency
+                    # rides on FIFO order and needs no event (paper V-C a)
+                    for p in self.graph.parents(node):
+                        s = self.stream_of.get(p.uid)
+                        if s is not None and s not in used:
+                            choice = s
+                            break
+                if choice is None:
+                    # round-robin ablation baseline when reuse is disabled
+                    start = li % self.num_streams if not self.reuse_parent_streams else 0
+                    choice = next(
+                        (start + s) % self.num_streams
+                        for s in range(self.num_streams)
+                        if (start + s) % self.num_streams not in used
+                    )
+                self.stream_of[node.uid] = choice
+                used.add(choice)
+
+    # -- pieces -------------------------------------------------------------
+    def _build_pieces(self) -> None:
+        for node in self.graph.nodes:
+            pieces: list[PieceKey] = []
+            if node.kind is NodeKind.COMPUTE:
+                for rank in range(self.backend.num_devices):
+                    key = ("c", node.uid, rank)
+                    pieces.append(key)
+                    if node.container.index_data.span_for(rank, node.view).is_empty:
+                        self._empty.add(key)
+            else:
+                msgs = self._halo_msgs[node.uid]
+                for i in range(len(msgs)):
+                    pieces.append(("h", node.uid, i))
+                if not msgs:
+                    # degenerate halo node (e.g. empty sparse boundary):
+                    # represent it with empty per-rank pieces so deps flow
+                    for rank in range(self.backend.num_devices):
+                        key = ("c", node.uid, rank)
+                        pieces.append(key)
+                        self._empty.add(key)
+            self._pieces[node.uid] = pieces
+
+    def _queue_key(self, piece: PieceKey):
+        kind, uid, idx = piece
+        if kind == "c":
+            node = self._node_by_uid(uid)
+            if node.kind is NodeKind.HALO:  # degenerate empty halo piece
+                return ("halo", uid, "none", idx)
+            return ("stream", self.stream_of[uid], idx)
+        msg = self._halo_msgs[uid][idx]
+        direction = "up" if msg.dst_rank > msg.src_rank else "down"
+        return ("halo", uid, direction, msg.src_rank)
+
+    def _node_by_uid(self, uid: int) -> GraphNode:
+        return self._nodes_by_uid[uid]
+
+    # -- phase b: dependency wiring ----------------------------------------
+    def _pairs_for_edge(self, a: GraphNode, b: GraphNode, scopes: set[Scope]):
+        n = self.backend.num_devices
+        a_halo = a.kind is NodeKind.HALO and self._halo_msgs[a.uid]
+        b_halo = b.kind is NodeKind.HALO and self._halo_msgs[b.uid]
+        if (a_halo or b_halo) and Scope.LOCAL in scopes:
+            # defensive: a LOCAL-scoped edge touching a halo node should
+            # not arise; if it ever does, couple both endpoints fully
+            scopes = scopes | {Scope.HALO_SRC, Scope.HALO_DST}
+        pairs: list[tuple[PieceKey, PieceKey]] = []
+        if not a_halo and not b_halo:
+            for r in range(n):
+                pairs.append((("c", a.uid, r), ("c", b.uid, r)))
+        elif b_halo and not a_halo:
+            for i, msg in enumerate(self._halo_msgs[b.uid]):
+                if Scope.HALO_SRC in scopes:
+                    pairs.append((("c", a.uid, msg.src_rank), ("h", b.uid, i)))
+                if Scope.HALO_DST in scopes:
+                    pairs.append((("c", a.uid, msg.dst_rank), ("h", b.uid, i)))
+        elif a_halo and not b_halo:
+            for i, msg in enumerate(self._halo_msgs[a.uid]):
+                if Scope.HALO_DST in scopes:
+                    pairs.append((("h", a.uid, i), ("c", b.uid, msg.dst_rank)))
+                if Scope.HALO_SRC in scopes:
+                    pairs.append((("h", a.uid, i), ("c", b.uid, msg.src_rank)))
+        else:  # halo -> halo: conservative full coupling
+            for i in range(len(self._halo_msgs[a.uid])):
+                for j in range(len(self._halo_msgs[b.uid])):
+                    pairs.append((("h", a.uid, i), ("h", b.uid, j)))
+        return pairs
+
+    def _build_raw_deps(self) -> None:
+        for node in self.graph.nodes:
+            for piece in self._pieces[node.uid]:
+                self._raw_deps.setdefault(piece, set())
+        for a, b, _kinds, scopes in self.graph.data_edges():
+            for dep, cons in self._pairs_for_edge(a, b, scopes):
+                if dep in self._raw_deps.get(cons, set()):
+                    continue
+                self._raw_deps.setdefault(cons, set()).add(dep)
+
+    def _resolve_empty_pieces(self) -> None:
+        """Dependencies of an empty piece flow through to its consumers."""
+        resolved: dict[PieceKey, set[PieceKey]] = {}
+        for node in self.order:
+            for piece in self._pieces[node.uid]:
+                out: set[PieceKey] = set()
+                for dep in self._raw_deps.get(piece, ()):
+                    if dep in self._empty:
+                        out |= resolved.get(dep, set())
+                    else:
+                        out.add(dep)
+                resolved[piece] = out
+        self._deps = resolved
+
+    def dependencies(self, piece: PieceKey) -> set[PieceKey]:
+        """Effective (non-empty) dependency pieces of a piece."""
+        return set(self._deps.get(piece, ()))
+
+    # -- phase c: execution in task-list order --------------------------------
+    def execute(self, eager: bool = True) -> ExecutionResult:
+        stats = ScheduleStats(num_streams=self.num_streams)
+        queues: dict[tuple, CommandQueue] = {}
+        events: dict[PieceKey, Event] = {}
+
+        # precompute which producer pieces need completion events
+        needs_event: set[PieceKey] = set()
+        for cons, deps in self._deps.items():
+            if cons in self._empty:
+                continue
+            cq = self._queue_key(cons)
+            for dep in deps:
+                if self._queue_key(dep) != cq:
+                    needs_event.add(dep)
+
+        def get_queue(qkey) -> CommandQueue:
+            if qkey not in queues:
+                if qkey[0] == "stream":
+                    _, sid, rank = qkey
+                    name = f"s{sid}[{rank}]"
+                else:
+                    _, uid, direction, rank = qkey
+                    name = f"h{uid}.{direction}[{rank}]"
+                queues[qkey] = self.backend.new_queue(rank, name=name, eager=eager)
+            return queues[qkey]
+
+        for node in self.order:
+            for piece in self._pieces[node.uid]:
+                if piece in self._empty:
+                    continue
+                qkey = self._queue_key(piece)
+                q = get_queue(qkey)
+                for dep in sorted(self._deps[piece], key=repr):
+                    if self._queue_key(dep) == qkey:
+                        stats.waits_skipped_same_queue += 1
+                        continue
+                    q.wait_event(events[dep])
+                    stats.num_waits += 1
+                kind, uid, idx = piece
+                if kind == "c":
+                    label = f"{node.name}[{idx}]"
+                    _launch_compute_piece(node.container, q, idx, node.view, node.reduce_mode, label)
+                    stats.num_kernels += 1
+                    cost = node.container.cost_for(idx, node.view)
+                    stats.kernel_bytes += cost.bytes_moved
+                    stats.kernel_flops += cost.flops
+                else:
+                    msg = self._halo_msgs[uid][idx]
+                    # node uid disambiguates repeated halo updates of one field
+                    q.enqueue_copy(
+                        f"{msg.name}#{uid}",
+                        msg.fn,
+                        self.backend.device(msg.src_rank),
+                        self.backend.device(msg.dst_rank),
+                        msg.nbytes,
+                    )
+                    stats.num_copies += 1
+                    stats.copy_bytes += msg.nbytes
+                if piece in needs_event:
+                    ev = Event(f"{node.name}:{idx}")
+                    q.record_event(ev)
+                    events[piece] = ev
+                    stats.num_events += 1
+
+        return ExecutionResult(queues=list(queues.values()), stats=stats, plan=self)

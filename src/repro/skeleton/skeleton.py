@@ -1,0 +1,101 @@
+"""The Skeleton: Neon's orchestrator (paper section V).
+
+Users hand it their sequential list of Containers plus a backend and an
+OCC level; the Skeleton extracts the data-dependency graph, builds the
+halo-complete multi-GPU graph, applies the OCC transform, prunes
+redundant dependencies, and compiles a stream/event schedule.  ``run()``
+executes the schedule (functionally, on the simulated devices) and
+returns the recorded command queues; ``trace()`` replays them through
+the performance model.
+"""
+
+from __future__ import annotations
+
+from repro.sets import Container
+from repro.sim import MachineSpec, Trace
+from repro.system import Backend
+
+from .executor import check_trace_dependencies, simulate_result
+from .mgraph import build_multi_gpu_graph
+from .occ import Occ, OccReport, apply_occ
+from .scheduler import ExecutionResult, Plan
+
+
+class Skeleton:
+    """A compiled, repeatedly-runnable multi-GPU application step."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        containers: list[Container],
+        occ: Occ = Occ.STANDARD,
+        name: str = "skeleton",
+        reuse_parent_streams: bool = True,
+    ):
+        self.backend = backend
+        self.containers = list(containers)
+        self.occ = occ
+        self.name = name
+        self.graph = build_multi_gpu_graph(self.containers, backend)
+        self.occ_report: OccReport = apply_occ(self.graph, occ)
+        self.redundant_edges_removed = self.graph.local_transitive_reduction()
+        self.plan = Plan(self.graph, backend, reuse_parent_streams=reuse_parent_streams)
+        self.last_result: ExecutionResult | None = None
+
+    def run(self) -> ExecutionResult:
+        """Execute once on the backend's devices; results land in the fields."""
+        self.last_result = self.plan.execute(eager=True)
+        return self.last_result
+
+    def record(self) -> ExecutionResult:
+        """Record the schedule without executing kernels (timing-only)."""
+        return self.plan.execute(eager=False)
+
+    def trace(self, machine: MachineSpec | None = None, result: ExecutionResult | None = None) -> Trace:
+        """Simulated timeline of one execution under the machine model."""
+        result = result or self.last_result or self.record()
+        return simulate_result(result, machine)
+
+    def validate(self, machine: MachineSpec | None = None) -> None:
+        """Assert the stream/event wiring alone enforces all dependencies."""
+        result = self.record()
+        trace = simulate_result(result, machine)
+        violations = check_trace_dependencies(result, trace)
+        if violations:
+            lines = "\n".join(str(v) for v in violations[:10])
+            raise AssertionError(f"schedule violates {len(violations)} dependencies:\n{lines}")
+
+    @property
+    def stats(self):
+        if self.last_result is None:
+            raise RuntimeError("run() or record() the skeleton first")
+        return self.last_result.stats
+
+    def describe(self) -> str:
+        """Human-readable summary of the compiled plan (for debugging)."""
+        lines = [
+            f"Skeleton '{self.name}': {len(self.containers)} containers, occ={self.occ.value}, "
+            f"{self.backend.num_devices} devices",
+            f"  streams: {self.plan.num_streams}; redundant edges removed: "
+            f"{self.redundant_edges_removed}",
+        ]
+        if self.occ_report.split_stencils or self.occ_report.split_pre_maps or self.occ_report.split_post_nodes:
+            lines.append(
+                "  occ splits: "
+                f"stencils={self.occ_report.split_stencils} "
+                f"pre-maps={self.occ_report.split_pre_maps} "
+                f"post-nodes={self.occ_report.split_post_nodes}"
+            )
+        for i, level in enumerate(self.graph.bfs_levels()):
+            names = ", ".join(f"{n.name}(s{self.plan.stream_of[n.uid]})" for n in level)
+            lines.append(f"  level {i}: {names}")
+        hints = list(self.graph.hint_edges())
+        if hints:
+            lines.append("  hints: " + ", ".join(f"{a.name}->{b.name}" for a, b in hints))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Skeleton({self.name}, {len(self.containers)} containers, occ={self.occ.value}, "
+            f"{self.backend.num_devices} devices)"
+        )

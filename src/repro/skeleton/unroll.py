@@ -1,0 +1,80 @@
+"""Iteration unrolling: compile k time steps into one skeleton.
+
+Iterative applications (LBM steps, smoother sweeps) re-run the same
+container sequence with ping-ponged fields.  Unrolling k iterations into
+a single skeleton lets the dependency analysis span iteration
+boundaries, so the scheduler can pipeline across them: iteration k+1's
+internal work starts while iteration k's boundary exchange is still in
+flight.  This measures the *steady-state* cost per iteration, which is
+what strong-scaling plots should use.
+
+Containers inside one skeleton need unique names, so the per-iteration
+containers are shallow-cloned with an ``@k`` suffix (the loading lambda
+— and therefore the computation — is shared).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.sets import Container
+from repro.system import Backend
+
+from .occ import Occ
+from .skeleton import Skeleton
+
+IterationFactory = Callable[[int], list[Container]]
+"""Returns the container sequence of iteration ``i`` (handle ping-pong
+buffers by alternating on ``i``)."""
+
+
+def _clone(container: Container, suffix: str) -> Container:
+    return Container(
+        f"{container.name}@{suffix}",
+        container.index_data,
+        container.loading,
+        flops_per_cell=container.flops_per_cell,
+        stencil_read_redundancy=container.stencil_read_redundancy,
+    )
+
+
+def unroll(iteration: IterationFactory, count: int) -> list[Container]:
+    """Flatten ``count`` iterations into one uniquely-named sequence."""
+    if count < 1:
+        raise ValueError("need at least one iteration")
+    out: list[Container] = []
+    for k in range(count):
+        out.extend(_clone(c, str(k)) for c in iteration(k))
+    return out
+
+
+def unrolled_skeleton(
+    backend: Backend,
+    iteration: IterationFactory,
+    count: int,
+    occ: Occ = Occ.STANDARD,
+    name: str = "unrolled",
+) -> Skeleton:
+    """Compile ``count`` iterations into a single pipelined skeleton."""
+    return Skeleton(backend, unroll(iteration, count), occ=occ, name=f"{name}x{count}")
+
+
+def steady_state_iteration_time(
+    backend: Backend,
+    iteration: IterationFactory,
+    occ: Occ = Occ.STANDARD,
+    warm: int = 2,
+    measure: int = 4,
+    machine=None,
+) -> float:
+    """Per-iteration makespan once the pipeline is full.
+
+    Simulates ``warm`` and ``warm + measure`` unrolled iterations and
+    returns the marginal cost per extra iteration — start-up transients
+    cancel out.
+    """
+    sk_a = unrolled_skeleton(backend, iteration, warm, occ=occ)
+    sk_b = unrolled_skeleton(backend, iteration, warm + measure, occ=occ)
+    t_a = sk_a.trace(machine=machine, result=sk_a.record()).makespan
+    t_b = sk_b.trace(machine=machine, result=sk_b.record()).makespan
+    return (t_b - t_a) / measure

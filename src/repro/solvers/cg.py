@@ -1,0 +1,193 @@
+"""Matrix-free conjugate gradient over Neon skeletons (paper Listing 3).
+
+The iteration body is phrased as two skeletons separated by the two host
+scalar reads CG fundamentally needs (alpha and beta depend on global
+reductions).  Following the paper's Two-way-Extended-OCC preparation,
+the p-update map is moved to the *start* of the first skeleton so the
+sequence becomes map -> stencil -> reduce — the exact Fig 4 pattern every
+OCC level knows how to split:
+
+    skeleton A: p = r + beta*p;  q = A p;  pq = <p, q>
+    host:       alpha = delta / pq
+    skeleton B: x += alpha*p;  r -= alpha*q;  delta' = <r, r>
+    host:       beta = delta' / delta, convergence check
+
+Scalars are passed into containers through mutable cells read at launch
+time (the loading lambda runs per launch), so the compiled skeletons are
+reused across iterations unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import ops
+from repro.domain.grid import Grid
+from repro.skeleton import Occ, Skeleton
+
+ApplyFactory = Callable[[Grid, object, object, str], object]
+"""Builds the operator: (grid, in_field, out_field, name) -> Container or [Containers]."""
+
+
+def _as_list(containers) -> list:
+    return list(containers) if isinstance(containers, (list, tuple)) else [containers]
+
+
+@dataclass
+class CGResult:
+    converged: bool
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("inf")
+
+
+def _axpby_cell(grid, a_cell: dict, x, b_cell: dict, y, name: str):
+    """y <- a*x + b*y with host-updated coefficients (read at launch)."""
+
+    def loading(loader):
+        xp = loader.read(x)
+        yp = loader.read_write(y)
+        a, b = a_cell["v"], b_cell["v"]
+
+        def compute(span):
+            yv = yp.view_all(span)
+            yv[...] = a * xp.view_all(span) + b * yv
+
+        return compute
+
+    return grid.new_container(name, loading, flops_per_cell=3.0 * x.cardinality)
+
+
+class ConjugateGradient:
+    """Reusable CG solver bound to one grid, operator, and OCC level."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        apply_op: ApplyFactory,
+        b,
+        x,
+        occ: Occ = Occ.STANDARD,
+        name: str = "cg",
+    ):
+        self.grid = grid
+        self.b = b
+        self.x = x
+        backend = grid.backend
+        card = x.cardinality
+        self.r = grid.new_field(f"{name}_r", cardinality=card)
+        self.p = grid.new_field(f"{name}_p", cardinality=card)
+        self.q = grid.new_field(f"{name}_q", cardinality=card)
+        self.pq_partial = grid.new_reduce_partial(f"{name}_pq")
+        self.rr_partial = grid.new_reduce_partial(f"{name}_rr")
+        self.alpha = {"v": 0.0}
+        self.beta = {"v": 0.0}
+        self.neg_alpha = {"v": 0.0}
+        one = {"v": 1.0}
+
+        # r = b - A x ; p handled by the first iteration's p-update (beta=0)
+        self.sk_init = Skeleton(
+            backend,
+            [
+                *_as_list(apply_op(grid, x, self.q, "A_x0")),
+                _init_residual(grid, b, self.q, self.r),
+                ops.norm2_squared(grid, self.r, self.rr_partial, name="rr0"),
+            ],
+            occ=occ,
+            name=f"{name}_init",
+        )
+        # map -> stencil -> reduce: the paper's UpdateP-first arrangement
+        self.sk_a = Skeleton(
+            backend,
+            [
+                _axpby_cell(grid, one, self.r, self.beta, self.p, "update_p"),
+                *_as_list(apply_op(grid, self.p, self.q, "A_p")),
+                ops.dot(grid, self.p, self.q, self.pq_partial, name="dot_pq"),
+            ],
+            occ=occ,
+            name=f"{name}_a",
+        )
+        self.sk_b = Skeleton(
+            backend,
+            [
+                _axpby_cell(grid, self.alpha, self.p, one, self.x, "update_x"),
+                _axpby_cell(grid, self.neg_alpha, self.q, one, self.r, "update_r"),
+                ops.norm2_squared(grid, self.r, self.rr_partial, name="dot_rr"),
+            ],
+            occ=occ,
+            name=f"{name}_b",
+        )
+
+    def solve(self, max_iterations: int = 200, tolerance: float = 1e-8) -> CGResult:
+        """Run CG until the residual 2-norm drops below tolerance."""
+        rr_read = ops.ScalarResult(self.rr_partial)
+        pq_read = ops.ScalarResult(self.pq_partial)
+        self.sk_init.run()
+        delta = rr_read.value()
+        norm0 = np.sqrt(delta)
+        result = CGResult(converged=False, iterations=0, residual_norms=[norm0])
+        if norm0 <= tolerance:
+            result.converged = True
+            return result
+        self.beta["v"] = 0.0
+        for it in range(1, max_iterations + 1):
+            self.sk_a.run()
+            pq = pq_read.value()
+            if pq <= 0.0:
+                raise RuntimeError(f"operator is not positive definite: <p, Ap> = {pq}")
+            self.alpha["v"] = delta / pq
+            self.neg_alpha["v"] = -self.alpha["v"]
+            self.sk_b.run()
+            delta_new = rr_read.value()
+            norm = float(np.sqrt(delta_new))
+            result.residual_norms.append(norm)
+            result.iterations = it
+            if norm <= tolerance:
+                result.converged = True
+                break
+            self.beta["v"] = delta_new / delta
+            delta = delta_new
+        return result
+
+    def iteration_makespan(self, machine=None, include_readback: bool = True) -> float:
+        """Simulated time of one CG iteration (both skeletons).
+
+        CG fundamentally syncs on two scalars per iteration (alpha and
+        the convergence check); ``include_readback`` charges the two
+        device->host reads of the per-device partials (one 8-byte message
+        per device, flowing in parallel over the host links — latency
+        dominated, exactly like a cuBLAS dot result read).
+        """
+        machine = machine or self.grid.backend.machine
+        t = 0.0
+        for sk in (self.sk_a, self.sk_b):
+            t += sk.trace(machine=machine, result=sk.record()).makespan
+        if include_readback:
+            from repro.sim.costmodel import transfer_duration
+            from repro.sim.topology import HOST_RANK
+
+            link = machine.topology.link(0, HOST_RANK)
+            t += 2.0 * transfer_duration(8, link)
+        return t
+
+
+def _init_residual(grid, b, q, r):
+    """r <- b - q."""
+
+    def loading(loader):
+        bp = loader.read(b)
+        qp = loader.read(q)
+        rp = loader.write(r)
+
+        def compute(span):
+            rp.view_all(span)[...] = bp.view_all(span) - qp.view_all(span)
+
+        return compute
+
+    return grid.new_container("init_residual", loading)

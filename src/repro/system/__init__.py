@@ -1,0 +1,35 @@
+"""System abstraction: devices, memory, queues/events, back ends (paper IV-A)."""
+
+from .backend import Backend
+from .device import HOST, Device, DeviceSet, DeviceType
+from .memory import AllocationError, DeviceAllocator, DeviceBuffer, MemOptions
+from .queue import (
+    Command,
+    CommandQueue,
+    CopyCommand,
+    Event,
+    KernelCommand,
+    KernelCost,
+    RecordEventCommand,
+    WaitEventCommand,
+)
+
+__all__ = [
+    "HOST",
+    "AllocationError",
+    "Backend",
+    "Command",
+    "CommandQueue",
+    "CopyCommand",
+    "Device",
+    "DeviceAllocator",
+    "DeviceBuffer",
+    "DeviceSet",
+    "DeviceType",
+    "Event",
+    "KernelCommand",
+    "KernelCost",
+    "MemOptions",
+    "RecordEventCommand",
+    "WaitEventCommand",
+]

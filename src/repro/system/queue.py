@@ -1,0 +1,203 @@
+"""Queue-based runtime model: commands, events and command queues.
+
+This is the System-level contract the paper requires from any back end
+(section IV-A): asynchronous command queues per device (CUDA streams) and
+events to inject cross-queue dependencies (CUDA events).
+
+Two consumers share these objects:
+
+* the *functional* executor runs each kernel/copy eagerly at enqueue time
+  (the host issues commands in a dependency-respecting order, exactly as
+  the Skeleton's ordered task list guarantees in the paper), and
+* the *timing* simulator (:mod:`repro.sim.des`) replays the recorded
+  queues against a machine model, honouring only stream order and event
+  waits — which is also how the schedule validity checker proves the
+  generated synchronisation is sufficient.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .device import Device
+
+_event_ids = itertools.count()
+_queue_ids = itertools.count()
+
+
+class Event:
+    """A one-shot synchronisation marker, recorded into one queue.
+
+    Mirrors a CUDA event restricted to single recording, which is all the
+    Skeleton scheduler needs (it allocates a fresh completion event per
+    task).
+    """
+
+    def __init__(self, name: str = ""):
+        self.uid = next(_event_ids)
+        self.name = name or f"ev{self.uid}"
+        self.recorded_in: CommandQueue | None = None
+        self.record_position: int | None = None
+
+    @property
+    def is_recorded(self) -> bool:
+        return self.recorded_in is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"@{self.recorded_in.name}[{self.record_position}]" if self.is_recorded else "(unrecorded)"
+        return f"Event({self.name}{where})"
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Inputs to the roofline-style kernel duration model.
+
+    ``bytes_moved`` is the total DRAM traffic of the kernel on its device,
+    ``flops`` its arithmetic work, ``indirection`` a multiplier (>1) for
+    gather/scatter-heavy access such as the element-sparse connectivity
+    walk, and ``launches`` the number of hardware launches folded into the
+    command (normally 1).
+    """
+
+    bytes_moved: float
+    flops: float = 0.0
+    indirection: float = 1.0
+    launches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved < 0 or self.flops < 0 or self.indirection < 1.0 or self.launches < 1:
+            raise ValueError(f"invalid KernelCost: {self}")
+
+
+_issue_counter = itertools.count()
+
+
+class Command:
+    """Base class for queue entries.
+
+    ``issue_seq`` is the host-side enqueue order across all queues; the
+    simulator uses it to break resource-contention ties the way hardware
+    FIFO dispatch would — which is what lets the Skeleton's task-list
+    order (and thus the OCC scheduling hints) take effect.
+    """
+
+    __slots__ = ("name", "issue_seq")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.issue_seq = next(_issue_counter)
+
+
+class KernelCommand(Command):
+    """A device kernel launch: runs ``fn`` and costs ``cost`` in the model."""
+
+    __slots__ = ("fn", "cost")
+
+    def __init__(self, name: str, fn: Callable[[], None], cost: KernelCost):
+        super().__init__(name)
+        self.fn = fn
+        self.cost = cost
+
+
+class CopyCommand(Command):
+    """A DMA transfer between two devices (or host<->device).
+
+    ``pinned`` marks host-side staging as page-locked: the cost model
+    doubles the effective host-link bandwidth for such transfers, the
+    standard first-order effect of pinned memory.
+    """
+
+    __slots__ = ("fn", "src", "dst", "nbytes", "pinned")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[], None],
+        src: Device,
+        dst: Device,
+        nbytes: int,
+        pinned: bool = False,
+    ):
+        super().__init__(name)
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        self.fn = fn
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.pinned = pinned
+
+
+class RecordEventCommand(Command):
+    """Marks an event complete once all prior commands in the queue finish."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        super().__init__(f"record:{event.name}")
+        self.event = event
+
+
+class WaitEventCommand(Command):
+    """Blocks the queue until the awaited event's record has completed."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        super().__init__(f"wait:{event.name}")
+        self.event = event
+
+
+class CommandQueue:
+    """An in-order asynchronous queue bound to one device (a stream)."""
+
+    def __init__(self, device: Device, name: str = "", eager: bool = True):
+        self.device = device
+        self.uid = next(_queue_ids)
+        self.name = name or f"q{self.uid}"
+        self.eager = eager
+        self.commands: list[Command] = []
+
+    def enqueue_kernel(self, name: str, fn: Callable[[], None], cost: KernelCost) -> KernelCommand:
+        cmd = KernelCommand(name, fn, cost)
+        self.commands.append(cmd)
+        if self.eager:
+            fn()
+        return cmd
+
+    def enqueue_copy(
+        self,
+        name: str,
+        fn: Callable[[], None],
+        src: Device,
+        dst: Device,
+        nbytes: int,
+        pinned: bool = False,
+    ) -> CopyCommand:
+        cmd = CopyCommand(name, fn, src, dst, nbytes, pinned=pinned)
+        self.commands.append(cmd)
+        if self.eager:
+            fn()
+        return cmd
+
+    def record_event(self, event: Event) -> RecordEventCommand:
+        if event.is_recorded:
+            raise RuntimeError(f"{event!r} already recorded; events are one-shot")
+        cmd = RecordEventCommand(event)
+        self.commands.append(cmd)
+        event.recorded_in = self
+        event.record_position = len(self.commands) - 1
+        return cmd
+
+    def wait_event(self, event: Event) -> WaitEventCommand:
+        cmd = WaitEventCommand(event)
+        self.commands.append(cmd)
+        return cmd
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommandQueue({self.name}, dev={self.device.index}, {len(self)} cmds)"

@@ -1,0 +1,36 @@
+import numpy as np
+import pytest
+
+from repro.baselines import NativeKarman
+from repro.solvers.lbm import KarmanVortexStreet
+from repro.system import Backend
+
+
+def test_native_matches_framework_exactly():
+    """Table I's two contenders run the same algorithm: trajectories must
+    agree to machine precision."""
+    shape = (24, 48)
+    native = NativeKarman(shape, reynolds=100.0, inflow_velocity=0.04)
+    fw = KarmanVortexStreet(Backend.sim_gpus(2), shape, reynolds=100.0, inflow_velocity=0.04)
+    native.step(25)
+    fw.step(25)
+    f_fw = fw.current.to_numpy()
+    assert np.allclose(native.f, f_fw, atol=1e-12)
+
+
+def test_flow_stays_bounded():
+    sim = NativeKarman((20, 40), reynolds=80.0)
+    sim.step(50)
+    rho, u = sim.macroscopic()
+    fluid = sim.mask > 0.5
+    assert np.isfinite(u[:, fluid]).all()
+    assert np.abs(u[:, fluid]).max() < 0.5
+
+
+def test_same_parameters_as_framework():
+    shape = (24, 48)
+    native = NativeKarman(shape, reynolds=123.0)
+    fw = KarmanVortexStreet(Backend.sim_gpus(1), shape, reynolds=123.0)
+    assert native.omega == pytest.approx(fw.omega)
+    assert native.cyl_center == fw.cyl_center
+    assert native.cyl_radius == fw.cyl_radius

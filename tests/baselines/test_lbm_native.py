@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.baselines import NativeLBM
+from repro.solvers.lbm import D2Q9, D3Q19
+
+
+@pytest.mark.parametrize("variant", NativeLBM.VARIANTS)
+def test_mass_and_momentum_conserved(variant):
+    sim = NativeLBM((8, 8, 8), omega=1.2, variant=variant)
+    sim.initialize_taylor_green()
+    m0 = sim.f.sum()
+    sim.step(8)  # even count: AA storage back in natural layout
+    assert sim.f.sum() == pytest.approx(m0, rel=1e-12)
+    _, u = sim.macroscopic()
+    assert abs(u.sum()) < 1e-10  # zero net momentum of the vortex
+
+
+@pytest.mark.parametrize("variant", NativeLBM.VARIANTS)
+def test_taylor_green_decay_matches_bgk_viscosity(variant):
+    """Kinetic energy must decay as exp(-4 nu k^2 t): a physics lock on
+    every variant's streaming and collision."""
+    n = 32  # fine enough that O(k^2) lattice corrections stay ~1%
+    sim = NativeLBM((n, n), omega=1.0, variant=variant, lattice=D2Q9)
+    sim.initialize_taylor_green(amplitude=0.01)
+    e0 = sim.kinetic_energy()
+    steps = 60
+    sim.step(steps)
+    e1 = sim.kinetic_energy()
+    k = 2.0 * np.pi / n
+    expected = np.exp(-4.0 * sim.viscosity * k * k * steps)
+    assert e1 / e0 == pytest.approx(expected, rel=0.05)
+
+
+def test_twopop_and_swap_identical_trajectories():
+    a = NativeLBM((6, 6, 6), omega=1.3, variant="twopop")
+    b = NativeLBM((6, 6, 6), omega=1.3, variant="swap")
+    for s in (a, b):
+        s.initialize_taylor_green()
+    a.step(6)
+    b.step(6)
+    assert np.allclose(a.f, b.f, atol=1e-13)
+
+
+def test_aa_agrees_with_twopop_macroscopics():
+    """A-A is the same dynamics up to a half-step phase: after many steps
+    the macroscopic fields must track the twoPop trajectory closely."""
+    a = NativeLBM((12, 12), omega=1.0, variant="aa", lattice=D2Q9)
+    b = NativeLBM((12, 12), omega=1.0, variant="twopop", lattice=D2Q9)
+    for s in (a, b):
+        s.initialize_taylor_green(amplitude=0.01)
+    a.step(20)
+    b.step(20)
+    _, ua = a.macroscopic()
+    _, ub = b.macroscopic()
+    assert np.allclose(ua, ub, atol=2e-4)
+
+
+def test_aa_macroscopic_guard_at_odd_steps():
+    sim = NativeLBM((6, 6), variant="aa", lattice=D2Q9)
+    sim.step(1)
+    with pytest.raises(RuntimeError, match="even"):
+        sim.macroscopic()
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        NativeLBM((4, 4, 4), variant="bogus")
+
+
+def test_rest_state_is_fixed_point():
+    sim = NativeLBM((6, 6, 6), omega=1.5, variant="twopop")
+    f0 = sim.f.copy()
+    sim.step(3)
+    assert np.allclose(sim.f, f0, atol=1e-14)

@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.baselines import NativePoissonCG
+from repro.skeleton import Occ
+from repro.solvers import PoissonSolver, manufactured_problem
+from repro.system import Backend
+
+
+def test_native_recovers_manufactured_solution():
+    shape = (10, 9, 8)
+    u_exact, f = manufactured_problem(shape)
+    solver = NativePoissonCG(shape)
+    solver.set_rhs(f)
+    res = solver.solve(max_iterations=400, tolerance=1e-10)
+    assert res.converged
+    assert np.allclose(solver.solution(), u_exact, atol=1e-7)
+
+
+def test_native_and_framework_agree_iteration_by_iteration():
+    """Neon-vs-baseline (Fig 8): same algorithm, same residual history."""
+    shape = (10, 8, 8)
+    _, f = manufactured_problem(shape)
+    native = NativePoissonCG(shape)
+    native.set_rhs(f)
+    res_native = native.solve(max_iterations=60, tolerance=1e-11)
+
+    framework = PoissonSolver(Backend.sim_gpus(3), shape, occ=Occ.TWO_WAY)
+    framework.set_rhs(lambda z, y, x: f[z, y, x])
+    res_fw = framework.solve(max_iterations=60, tolerance=1e-11)
+
+    n = min(len(res_native.residual_norms), len(res_fw.residual_norms))
+    assert np.allclose(res_native.residual_norms[:n], res_fw.residual_norms[:n], rtol=1e-8)
+    assert np.allclose(native.solution(), framework.solution(), atol=1e-9)
+
+
+def test_rhs_shape_checked():
+    with pytest.raises(ValueError):
+        NativePoissonCG((4, 4, 4)).set_rhs(np.zeros((5, 4, 4)))
+
+
+def test_zero_rhs_immediate():
+    solver = NativePoissonCG((5, 5, 5))
+    res = solver.solve()
+    assert res.converged and res.iterations == 0

@@ -1,0 +1,33 @@
+import pytest
+
+from repro.bench import ascii_plot
+
+
+def test_plot_renders_markers_and_legend():
+    out = ascii_plot(
+        {"a": [(1, 0.5), (2, 0.7), (4, 0.9)], "b": [(1, 0.4), (4, 0.6)]},
+        width=40,
+        height=8,
+        title="T",
+        ylabel="eff",
+    )
+    assert out.splitlines()[0] == "T"
+    assert "o a" in out and "x b" in out
+    assert out.count("o") >= 3 + 1  # three points + legend marker
+    assert "(y: eff)" in out
+
+
+def test_plot_empty_series():
+    assert ascii_plot({}) == "(no data)"
+    assert ascii_plot({"a": []}) == "(no data)"
+
+
+def test_plot_constant_series_does_not_crash():
+    out = ascii_plot({"c": [(0, 1.0), (5, 1.0)]}, width=20, height=5)
+    assert "c" in out
+
+
+def test_plot_fixed_y_range_clamps():
+    out = ascii_plot({"a": [(0, -5.0), (1, 5.0)]}, width=10, height=5, y_range=(0.0, 1.0))
+    lines = [l for l in out.splitlines() if "|" in l]
+    assert lines[0].strip().startswith("1.000")

@@ -1,0 +1,182 @@
+import numpy as np
+import pytest
+
+from repro.domain import STENCIL_7PT, DataView, DenseGrid, Layout
+from repro.system import Backend
+
+
+@pytest.fixture
+def grid():
+    return DenseGrid(Backend.sim_gpus(3), (12, 4, 5), stencils=[STENCIL_7PT])
+
+
+def test_slab_bounds(grid):
+    assert grid.bounds == [(0, 4), (4, 8), (8, 12)]
+    assert grid.num_active == 12 * 4 * 5
+    assert grid.sparsity_ratio == 1.0
+
+
+def test_views_middle_rank(grid):
+    std = grid.span_for(1, DataView.STANDARD)
+    internal = grid.span_for(1, DataView.INTERNAL)
+    boundary = grid.span_for(1, DataView.BOUNDARY)
+    assert std.count == 4 * 20
+    assert internal.count == 2 * 20
+    assert boundary.count == 2 * 20
+    assert len(boundary.pieces()) == 2
+
+
+def test_views_edge_ranks_have_one_sided_boundary(grid):
+    # rank 0 touches the global border below: only its top strip is boundary
+    b0 = grid.span_for(0, DataView.BOUNDARY)
+    assert b0.count == 1 * 20
+    assert len(b0.pieces()) == 1
+    i0 = grid.span_for(0, DataView.INTERNAL)
+    assert i0.count == 3 * 20
+
+
+def test_single_device_all_internal():
+    g = DenseGrid(Backend.sim_gpus(1), (8, 3, 3), stencils=[STENCIL_7PT])
+    assert g.span_for(0, DataView.BOUNDARY).is_empty
+    assert g.span_for(0, DataView.INTERNAL).count == g.num_cells
+
+
+def test_standard_is_union_of_internal_and_boundary(grid):
+    for rank in range(3):
+        std = grid.span_for(rank, DataView.STANDARD).count
+        i = grid.span_for(rank, DataView.INTERNAL).count
+        b = grid.span_for(rank, DataView.BOUNDARY).count
+        assert std == i + b
+
+
+def test_too_thin_slabs_rejected():
+    with pytest.raises(ValueError, match="slabs"):
+        DenseGrid(Backend.sim_gpus(4), (6, 4, 4), stencils=[STENCIL_7PT])
+
+
+def test_2d_grid_supported():
+    g = DenseGrid(Backend.sim_gpus(2), (8, 6))
+    f = g.new_field("u")
+    f.fill(3.0)
+    assert f.to_numpy().shape == (1, 8, 6)
+    assert np.all(f.to_numpy() == 3.0)
+
+
+def test_bad_shapes_rejected():
+    be = Backend.sim_gpus(1)
+    with pytest.raises(ValueError):
+        DenseGrid(be, (8,))
+    with pytest.raises(ValueError):
+        DenseGrid(be, (8, 0, 3))
+    with pytest.raises(ValueError):
+        DenseGrid(be, (2, 2, 2, 2))
+
+
+def test_field_init_and_to_numpy_roundtrip(grid):
+    f = grid.new_field("u")
+    f.init(lambda z, y, x: z * 100 + y * 10 + x)
+    arr = f.to_numpy()[0]
+    z, y, x = np.meshgrid(np.arange(12), np.arange(4), np.arange(5), indexing="ij")
+    assert np.array_equal(arr, z * 100 + y * 10 + x)
+
+
+def test_field_initial_value_is_outside_value(grid):
+    f = grid.new_field("u", outside_value=-9.0)
+    assert np.all(f.to_numpy() == -9.0)
+
+
+def test_neighbour_within_partition(grid):
+    f = grid.new_field("u")
+    f.init(lambda z, y, x: z * 100 + y * 10 + x)
+    part = f.partition(1)  # owns z in [4, 8)
+    span = grid.span_for(1, DataView.INTERNAL)
+    up = part.neighbour(span, (1, 0, 0))
+    center = part.view(span)
+    assert np.array_equal(up, center + 100)
+
+
+def test_neighbour_across_partition_reads_halo(grid):
+    f = grid.new_field("u")
+    f.init(lambda z, y, x: z * 100 + y * 10 + x)  # init syncs halos
+    part = f.partition(1)
+    span = grid.span_for(1, DataView.STANDARD)
+    down = part.neighbour(span, (-1, 0, 0))
+    # the first slice of rank 1 (z=4) must read z=3 values owned by rank 0
+    assert np.array_equal(down[0], f.to_numpy()[0][3])
+
+
+def test_neighbour_outside_domain_returns_outside_value():
+    g = DenseGrid(Backend.sim_gpus(1), (4, 3, 3), stencils=[STENCIL_7PT])
+    f = g.new_field("u", outside_value=-5.0)
+    f.fill(1.0)
+    f.sync_halo_now()
+    part = f.partition(0)
+    span = g.span_for(0, DataView.STANDARD)
+    below = part.neighbour(span, (-1, 0, 0))
+    assert np.all(below[0] == -5.0)  # z=-1 is outside
+    assert np.all(below[1:] == 1.0)
+    left = part.neighbour(span, (0, 0, -1))
+    assert np.all(left[:, :, 0] == -5.0)
+    assert np.all(left[:, :, 1:] == 1.0)
+
+
+def test_neighbour_offset_beyond_radius_rejected(grid):
+    f = grid.new_field("u")
+    part = f.partition(0)
+    span = grid.span_for(0, DataView.STANDARD)
+    with pytest.raises(ValueError, match="radius"):
+        part.neighbour(span, (2, 0, 0))
+
+
+def test_layouts_give_same_logical_content(grid):
+    fa = grid.new_field("a", cardinality=3, layout=Layout.SOA)
+    fb = grid.new_field("b", cardinality=3, layout=Layout.AOS)
+    for f in (fa, fb):
+        for c in range(3):
+            f.init(lambda z, y, x, c=c: z + 10 * c, comp=c)
+    assert np.array_equal(fa.to_numpy(), fb.to_numpy())
+    # physical layouts differ
+    assert fa.buffers[0].shape[0] == 3
+    assert fb.buffers[0].shape[-1] == 3
+
+
+def test_view_all_is_writable_both_layouts(grid):
+    for layout in (Layout.SOA, Layout.AOS):
+        f = grid.new_field(f"f_{layout.value}", cardinality=2, layout=layout)
+        span = grid.span_for(0, DataView.STANDARD)
+        va = f.partition(0).view_all(span)
+        va[1, ...] = 42.0
+        assert np.all(f.partition(0).view(span, 1) == 42.0)
+        assert np.all(f.partition(0).view(span, 0) == 0.0)
+
+
+def test_mask_field_and_num_active():
+    mask = np.zeros((8, 4, 4), dtype=bool)
+    mask[:, :2, :] = True
+    g = DenseGrid(Backend.sim_gpus(2), (8, 4, 4), stencils=[STENCIL_7PT], mask=mask)
+    assert g.num_active == 8 * 2 * 4
+    assert g.sparsity_ratio == pytest.approx(0.5)
+    mf = g.mask_field()
+    assert np.array_equal(mf.to_numpy()[0], mask.astype(float))
+
+
+def test_mask_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        DenseGrid(Backend.sim_gpus(1), (8, 4, 4), mask=np.ones((4, 4, 4), dtype=bool))
+
+
+def test_virtual_grid_plans_without_payload():
+    g = DenseGrid(Backend.sim_gpus(2), (256, 256, 256), stencils=[STENCIL_7PT], virtual=True)
+    f = g.new_field("u", cardinality=19)
+    assert f.buffers[0].array is None
+    # footprint accounted: (128+2) slices * 256^2 * 19 comps * 8 B
+    assert f.buffers[0].nbytes == 130 * 256 * 256 * 19 * 8
+    with pytest.raises(RuntimeError, match="virtual"):
+        f.fill(0.0)
+    with pytest.raises(RuntimeError, match="virtual"):
+        f.to_numpy()
+
+
+def test_grid_is_not_loadable(grid):
+    with pytest.raises(TypeError):
+        grid.partition(0)

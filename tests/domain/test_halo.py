@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.domain import STENCIL_7PT, DenseGrid, HaloMsg, Layout, exchange_pairs
+from repro.system import Backend
+
+
+def test_exchange_pairs_cover_both_directions():
+    assert exchange_pairs(3) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+    assert exchange_pairs(1) == []
+
+
+def test_halo_msg_rejects_non_neighbours():
+    with pytest.raises(ValueError):
+        HaloMsg("bad", 0, 2, 8, lambda: None)
+    with pytest.raises(ValueError):
+        HaloMsg("bad", 0, 1, -8, lambda: None)
+
+
+def test_scalar_field_two_messages_per_pair():
+    g = DenseGrid(Backend.sim_gpus(4), (16, 4, 4), stencils=[STENCIL_7PT])
+    f = g.new_field("u")
+    msgs = f.halo_messages()
+    # 3 neighbour pairs x 2 directions
+    assert len(msgs) == 6
+    assert all(m.nbytes == 1 * 16 * 8 for m in msgs)
+
+
+def test_soa_vector_field_2n_messages():
+    g = DenseGrid(Backend.sim_gpus(2), (8, 4, 4), stencils=[STENCIL_7PT])
+    f = g.new_field("v", cardinality=3, layout=Layout.SOA)
+    msgs = f.halo_messages()
+    assert len(msgs) == 2 * 3  # one pair, both directions, per component
+    assert all(m.nbytes == 16 * 8 for m in msgs)
+
+
+def test_aos_vector_field_two_messages():
+    g = DenseGrid(Backend.sim_gpus(2), (8, 4, 4), stencils=[STENCIL_7PT])
+    f = g.new_field("v", cardinality=3, layout=Layout.AOS)
+    msgs = f.halo_messages()
+    assert len(msgs) == 2
+    assert all(m.nbytes == 16 * 8 * 3 for m in msgs)
+
+
+def test_no_messages_without_stencil_or_single_device():
+    g1 = DenseGrid(Backend.sim_gpus(2), (8, 4, 4))  # no stencil -> radius 0
+    assert g1.new_field("u").halo_messages() == []
+    g2 = DenseGrid(Backend.sim_gpus(1), (8, 4, 4), stencils=[STENCIL_7PT])
+    assert g2.new_field("u").halo_messages() == []
+
+
+def test_halo_transfer_moves_boundary_values():
+    g = DenseGrid(Backend.sim_gpus(2), (8, 2, 2), stencils=[STENCIL_7PT])
+    f = g.new_field("u")
+    # write distinct values per rank without syncing halos
+    from repro.domain import DataView
+
+    f.partition(0).view(g.span_for(0, DataView.STANDARD))[...] = 1.0
+    f.partition(1).view(g.span_for(1, DataView.STANDARD))[...] = 2.0
+    # halos still hold outside_value (0)
+    assert np.all(f.partition(1).storage[0, 0] == 0.0)
+    f.sync_halo_now()
+    # rank 1's low halo now holds rank 0's top slice values
+    assert np.all(f.partition(1).storage[0, 0] == 1.0)
+    # rank 0's high halo holds rank 1's bottom slice values
+    assert np.all(f.partition(0).storage[0, -1] == 2.0)
+
+
+def test_halo_roundtrip_matches_global_field():
+    g = DenseGrid(Backend.sim_gpus(3), (12, 3, 3), stencils=[STENCIL_7PT])
+    f = g.new_field("u")
+    f.init(lambda z, y, x: z * 1.0)
+    from repro.domain import DataView
+
+    # every owned cell's z-neighbour must equal z+1 / z-1 (inside the domain)
+    for rank in range(3):
+        part = f.partition(rank)
+        span = g.span_for(rank, DataView.STANDARD)
+        z, _, _ = part.coords(span)
+        zc = np.broadcast_to(z, part.view(span).shape).astype(float)
+        up = part.neighbour(span, (1, 0, 0))
+        inside = zc + 1 <= 11
+        assert np.allclose(up[inside], (zc + 1)[inside])

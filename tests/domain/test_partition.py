@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domain import partition_imbalance, slab_partition, weighted_slab_partition
+
+
+def test_even_split():
+    assert slab_partition(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_remainder_goes_to_first_slabs():
+    assert slab_partition(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+
+def test_single_part_is_whole_extent():
+    assert slab_partition(7, 1) == [(0, 7)]
+
+
+def test_extent_smaller_than_parts_rejected():
+    with pytest.raises(ValueError):
+        slab_partition(3, 4)
+    with pytest.raises(ValueError):
+        slab_partition(4, 0)
+
+
+@given(st.integers(1, 500), st.integers(1, 16))
+def test_slab_partition_properties(extent, parts):
+    if extent < parts:
+        with pytest.raises(ValueError):
+            slab_partition(extent, parts)
+        return
+    bounds = slab_partition(extent, parts)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == extent
+    # contiguous, non-empty, balanced within one slice
+    sizes = []
+    for (a, b), (c, _d) in zip(bounds, bounds[1:] + [(extent, extent)]):
+        assert a < b
+        assert b == c
+        sizes.append(b - a)
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_weighted_split_balances_load():
+    # all the load lives in the second half of the axis
+    w = np.array([0, 0, 0, 0, 10, 10, 10, 10])
+    bounds = weighted_slab_partition(w, 2)
+    assert bounds[0][1] >= 5  # first slab swallows the empty slices plus some load
+    assert partition_imbalance(w, bounds) <= 1.5
+
+
+def test_weighted_split_uniform_matches_slab():
+    w = np.ones(12)
+    assert weighted_slab_partition(w, 3) == slab_partition(12, 3)
+
+
+def test_weighted_split_zero_total_falls_back():
+    assert weighted_slab_partition(np.zeros(6), 2) == slab_partition(6, 2)
+
+
+def test_weighted_negative_rejected():
+    with pytest.raises(ValueError):
+        weighted_slab_partition(np.array([1.0, -1.0]), 2)
+
+
+@given(
+    st.lists(st.integers(0, 100), min_size=2, max_size=60),
+    st.integers(1, 8),
+)
+def test_weighted_partition_properties(weights, parts):
+    w = np.array(weights, dtype=float)
+    if len(w) < parts:
+        with pytest.raises(ValueError):
+            weighted_slab_partition(w, parts)
+        return
+    bounds = weighted_slab_partition(w, parts)
+    assert len(bounds) == parts
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == len(w)
+    for (a, b), (c, _d) in zip(bounds, bounds[1:] + [(len(w), len(w))]):
+        assert a < b
+        assert b == c
+
+
+def test_imbalance_of_perfect_split_is_one():
+    w = np.ones(8)
+    assert partition_imbalance(w, slab_partition(8, 4)) == pytest.approx(1.0)

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.domain import D2Q9_STENCIL, D3Q19_STENCIL, STENCIL_7PT, STENCIL_27PT, Stencil, box, star
+
+
+def test_star_7pt_shape():
+    assert STENCIL_7PT.size == 7
+    assert STENCIL_7PT.ndim == 3
+    assert STENCIL_7PT.radius == 1
+    assert (0, 0, 0) in STENCIL_7PT.offsets
+    assert (1, 0, 0) in STENCIL_7PT.offsets
+    assert (1, 1, 0) not in STENCIL_7PT.offsets
+
+
+def test_box_27pt_shape():
+    assert STENCIL_27PT.size == 27
+    assert (1, 1, 1) in STENCIL_27PT.offsets
+    assert STENCIL_27PT.radius == 1
+
+
+def test_d3q19_has_19_offsets_no_corners():
+    assert D3Q19_STENCIL.size == 19
+    assert (1, 1, 1) not in D3Q19_STENCIL.offsets
+    assert (1, 1, 0) in D3Q19_STENCIL.offsets
+    assert (0, 0, 0) in D3Q19_STENCIL.offsets
+
+
+def test_d2q9_shape():
+    assert D2Q9_STENCIL.size == 9
+    assert D2Q9_STENCIL.ndim == 2
+    assert D2Q9_STENCIL.radius == 1
+
+
+def test_union_merges_and_dedups():
+    u = STENCIL_7PT.union(STENCIL_27PT)
+    assert u.size == 27  # 7pt is a subset of 27pt
+    assert u.radius == 1
+
+
+def test_union_dimension_mismatch():
+    with pytest.raises(ValueError):
+        STENCIL_7PT.union(D2Q9_STENCIL)
+
+
+def test_radius_2_star():
+    s = star(2, 3)
+    assert s.radius == 2
+    assert (2, 0, 0) in s.offsets
+    assert s.size == 13
+
+
+def test_no_center_variants():
+    assert star(1, 3, include_center=False).size == 6
+    assert box(1, 3, include_center=False).size == 26
+
+
+def test_duplicate_offsets_rejected():
+    with pytest.raises(ValueError):
+        Stencil("dup", ((0, 0, 0), (0, 0, 0)))
+
+
+def test_mixed_dims_rejected():
+    with pytest.raises(ValueError):
+        Stencil("mixed", ((0, 0), (0, 0, 0)))
+
+
+def test_empty_stencil_rejected():
+    with pytest.raises(ValueError):
+        Stencil("empty", ())

@@ -1,0 +1,52 @@
+"""Property-based tests on the stencil algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domain import Stencil, box, star
+
+offset_strategy = st.tuples(st.integers(-2, 2), st.integers(-2, 2), st.integers(-2, 2))
+
+
+@st.composite
+def stencils(draw):
+    offs = draw(st.lists(offset_strategy, min_size=1, max_size=12, unique=True))
+    return Stencil("rnd", tuple(offs))
+
+
+@settings(max_examples=40, deadline=None)
+@given(stencils(), stencils())
+def test_union_is_commutative_in_content(a, b):
+    ab = set(a.union(b).offsets)
+    ba = set(b.union(a).offsets)
+    assert ab == ba == set(a.offsets) | set(b.offsets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stencils())
+def test_union_is_idempotent(a):
+    assert set(a.union(a).offsets) == set(a.offsets)
+    assert a.union(a).size == a.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(stencils(), stencils())
+def test_union_radius_is_max(a, b):
+    assert a.union(b).radius == max(a.radius, b.radius)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 3))
+def test_star_size_formula(radius, ndim):
+    s = star(radius, ndim)
+    assert s.size == 1 + 2 * radius * ndim
+    assert s.radius == radius
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 2), st.integers(1, 3))
+def test_box_size_formula(radius, ndim):
+    b = box(radius, ndim)
+    assert b.size == (2 * radius + 1) ** ndim
+    assert set(star(radius, ndim).offsets) <= set(b.offsets)

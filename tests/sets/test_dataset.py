@@ -1,0 +1,30 @@
+import pytest
+
+from repro.sets import DataSet, LinearSpan
+from repro.sets.dataset import Span
+
+
+def test_dataset_indexing_and_iteration():
+    ds = DataSet([10, 20, 30])
+    assert len(ds) == 3
+    assert ds[1] == 20
+    ds[1] = 99
+    assert list(ds) == [10, 99, 30]
+
+
+def test_dataset_empty_rejected():
+    with pytest.raises(ValueError):
+        DataSet([])
+
+
+def test_span_default_pieces_is_self():
+    s = LinearSpan(2, 7)
+    assert s.pieces() == [s]
+    assert s.count == 5
+    assert not s.is_empty
+    assert LinearSpan(3, 3).is_empty
+
+
+def test_span_is_abstract():
+    with pytest.raises(TypeError):
+        Span()

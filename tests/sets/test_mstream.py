@@ -1,0 +1,32 @@
+import pytest
+
+from repro.sets import MultiEvent, MultiStream
+from repro.system import Backend, KernelCost
+
+
+def test_create_one_queue_per_device():
+    backend = Backend.sim_gpus(4)
+    ms = MultiStream.create(backend, "compute")
+    assert len(ms) == 4
+    assert [q.device.index for q in ms] == [0, 1, 2, 3]
+
+
+def test_multi_event_record_and_wait():
+    backend = Backend.sim_gpus(2)
+    s1 = MultiStream.create(backend, "a", eager=False)
+    s2 = MultiStream.create(backend, "b", eager=False)
+    ev = MultiEvent(2, "sync")
+    for q in s1:
+        q.enqueue_kernel("k", lambda: None, KernelCost(bytes_moved=1))
+    ev.record_all(s1)
+    ev.wait_all(s2)
+    for r in range(2):
+        assert ev[r].recorded_in is s1[r]
+        assert s2[r].commands[0].event is ev[r]
+
+
+def test_empty_stream_rejected():
+    with pytest.raises(ValueError):
+        MultiStream([])
+    with pytest.raises(ValueError):
+        MultiEvent(0)

@@ -1,0 +1,99 @@
+"""Property-based invariants of the discrete-event simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import MachineSpec, SpanKind, simulate
+from repro.sim.machine import DeviceSpec
+from repro.sim.topology import Topology
+from repro.system import CommandQueue, DeviceSet, Event, KernelCost
+
+
+def machine(n):
+    return MachineSpec(
+        name="t",
+        device=DeviceSpec(mem_bandwidth=1e9, flops=1e15, launch_overhead=1e-6),
+        topology=Topology.all_to_all(n, bandwidth=1e9, latency=1e-6, host_bandwidth=1e9, host_latency=1e-6),
+    )
+
+
+@st.composite
+def random_queues(draw):
+    """Random multi-queue programs with well-formed event use."""
+    ndev = draw(st.integers(1, 3))
+    nqueues = draw(st.integers(1, 4))
+    devices = DeviceSet.gpus(ndev)
+    queues = [CommandQueue(devices[draw(st.integers(0, ndev - 1))], f"q{i}", eager=False) for i in range(nqueues)]
+    events = []
+    n_ops = draw(st.integers(1, 12))
+    for k in range(n_ops):
+        q = queues[draw(st.integers(0, nqueues - 1))]
+        kind = draw(st.sampled_from(["kernel", "copy", "record", "wait"]))
+        if kind == "kernel":
+            q.enqueue_kernel(f"k{k}", lambda: None, KernelCost(bytes_moved=draw(st.integers(1, 10**7))))
+        elif kind == "copy" and ndev > 1:
+            src = q.device
+            dst = devices[(src.index + 1) % ndev]
+            q.enqueue_copy(f"c{k}", lambda: None, src, dst, draw(st.integers(0, 10**6)))
+        elif kind == "record":
+            ev = Event(f"e{k}")
+            q.record_event(ev)
+            events.append(ev)
+        elif kind == "wait" and events:
+            # only wait on already-recorded events: guarantees no deadlock
+            q.wait_event(draw(st.sampled_from(events)))
+    return queues, ndev
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_queues())
+def test_resource_exclusivity_and_makespan(data):
+    queues, ndev = data
+    trace = simulate(queues, machine(ndev))
+    # every issued command appears exactly once
+    assert len(trace.spans) == sum(len(q) for q in queues)
+    # makespan is the max span end and bounds every span
+    for s in trace.spans:
+        assert 0.0 <= s.start <= s.end <= trace.makespan + 1e-15
+    # spans sharing one resource never overlap (engines are exclusive)
+    by_resource = {}
+    for s in trace.spans:
+        if s.resource:
+            by_resource.setdefault(s.resource, []).append(s)
+    for spans in by_resource.values():
+        spans.sort(key=lambda s: s.start)
+        for a, b in zip(spans, spans[1:]):
+            assert a.end <= b.start + 1e-15
+    # per-queue program order is respected
+    by_queue = {}
+    for s in trace.spans:
+        by_queue.setdefault(s.queue, []).append(s)
+    for q in queues:
+        names = [c.name for c in q.commands]
+        got = [s.name for s in sorted(by_queue.get(q.name, []), key=lambda s: (s.start, s.end))]
+        # same multiset and order (zero-duration sync spans may tie; sort is stable on start)
+        assert sorted(got) == sorted(names)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_queues())
+def test_makespan_bounded_by_serial_sum(data):
+    queues, ndev = data
+    trace = simulate(queues, machine(ndev))
+    serial = sum(s.duration for s in trace.spans)
+    busiest = max(
+        (sum(s.duration for s in trace.spans if s.resource == r) for r in {s.resource for s in trace.spans if s.resource}),
+        default=0.0,
+    )
+    assert busiest - 1e-12 <= trace.makespan <= serial + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_queues())
+def test_simulation_is_deterministic(data):
+    queues, ndev = data
+    t1 = simulate(queues, machine(ndev))
+    t2 = simulate(queues, machine(ndev))
+    assert [(s.name, s.start, s.end) for s in t1.spans] == [(s.name, s.start, s.end) for s in t2.spans]

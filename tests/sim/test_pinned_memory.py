@@ -1,0 +1,43 @@
+"""Pinned host memory: the MemOptions flag must reach the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.sets import MemSet
+from repro.sim import MachineSpec, SpanKind, simulate
+from repro.sim.costmodel import transfer_duration
+from repro.sim.machine import DeviceSpec
+from repro.sim.topology import Link, Topology
+from repro.system import Backend, MemOptions
+
+
+def test_pinned_transfer_twice_as_fast():
+    link = Link(bandwidth=1e9, latency=0.0)
+    slow = transfer_duration(int(1e9), link)
+    fast = transfer_duration(int(1e9), link, pinned=True)
+    assert slow == pytest.approx(2 * fast)
+
+
+def test_pinned_latency_unchanged():
+    link = Link(bandwidth=1e9, latency=5e-6)
+    assert transfer_duration(0, link, pinned=True) == pytest.approx(5e-6)
+
+
+def machine():
+    return MachineSpec(
+        name="t",
+        device=DeviceSpec(mem_bandwidth=1e12, flops=1e15, launch_overhead=0.0),
+        topology=Topology.all_to_all(1, bandwidth=1e9, latency=0.0, host_bandwidth=1e9, host_latency=0.0),
+    )
+
+
+@pytest.mark.parametrize("pinned,expected", [(False, 0.08), (True, 0.04)])
+def test_memset_h2d_honours_pinned_option(pinned, expected):
+    backend = Backend.sim_gpus(1, machine=machine())
+    opts = MemOptions(pinned_host=pinned)
+    ms = MemSet(backend, [10_000_000], np.float64, options=opts)
+    q = backend.new_queue(0, name="q", eager=False)
+    ms.update_device(0, q)
+    trace = simulate([q], machine())
+    (span,) = [s for s in trace.spans if s.kind is SpanKind.COPY]
+    assert span.duration == pytest.approx(expected)

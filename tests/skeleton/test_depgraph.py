@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.sets import Container, MemSet
+from repro.skeleton import DepKind, NodeKind, build_dependency_graph, containers_to_nodes
+from repro.system import Backend
+
+
+@pytest.fixture
+def backend():
+    return Backend.sim_gpus(2)
+
+
+def mk(backend, name, reads=(), writes=()):
+    """Container reading/writing the given MemSets (map pattern)."""
+    first = (list(reads) + list(writes))[0]
+
+    def loading(loader):
+        for d in reads:
+            loader.read(d)
+        for d in writes:
+            loader.write(d)
+        return lambda span: None
+
+    return Container(name, first, loading)
+
+
+def test_raw_dependency(backend):
+    a = MemSet(backend, [4, 4], np.float64, name="A")
+    w = mk(backend, "w", writes=[a])
+    r = mk(backend, "r", reads=[a])
+    g = build_dependency_graph(containers_to_nodes([w, r]))
+    (edge,) = list(g.data_edges())
+    assert edge[0].name == "w" and edge[1].name == "r"
+    assert DepKind.RAW in edge[2]
+
+
+def test_war_dependency(backend):
+    a = MemSet(backend, [4, 4], np.float64, name="A")
+    r = mk(backend, "r", reads=[a])
+    w = mk(backend, "w", writes=[a])
+    g = build_dependency_graph(containers_to_nodes([r, w]))
+    (edge,) = list(g.data_edges())
+    assert DepKind.WAR in edge[2]
+
+
+def test_waw_dependency(backend):
+    a = MemSet(backend, [4, 4], np.float64, name="A")
+    w1 = mk(backend, "w1", writes=[a])
+    w2 = mk(backend, "w2", writes=[a])
+    g = build_dependency_graph(containers_to_nodes([w1, w2]))
+    (edge,) = list(g.data_edges())
+    assert DepKind.WAW in edge[2]
+
+
+def test_independent_containers_have_no_edges(backend):
+    a = MemSet(backend, [4, 4], np.float64, name="A")
+    b = MemSet(backend, [4, 4], np.float64, name="B")
+    g = build_dependency_graph(containers_to_nodes([mk(backend, "1", writes=[a]), mk(backend, "2", writes=[b])]))
+    assert list(g.data_edges()) == []
+
+
+def test_transitive_reduction_drops_redundant_edge(backend):
+    a = MemSet(backend, [4, 4], np.float64, name="A")
+    b = MemSet(backend, [4, 4], np.float64, name="B")
+    n1 = mk(backend, "n1", writes=[a])
+    n2 = mk(backend, "n2", reads=[a], writes=[b])
+    n3 = mk(backend, "n3", reads=[a, b])
+    g = build_dependency_graph(containers_to_nodes([n1, n2, n3]), reduce=True)
+    # n1->n3 (RaW on A) is implied by n1->n2->n3
+    assert not g.has_edge(g.find("n1"), g.find("n3"))
+    assert g.has_edge(g.find("n1"), g.find("n2"))
+    assert g.has_edge(g.find("n2"), g.find("n3"))
+
+
+def test_bfs_levels_group_independent_nodes(backend):
+    a = MemSet(backend, [4, 4], np.float64, name="A")
+    b = MemSet(backend, [4, 4], np.float64, name="B")
+    n1 = mk(backend, "n1", writes=[a])
+    n2 = mk(backend, "n2", writes=[b])
+    n3 = mk(backend, "n3", reads=[a, b])
+    g = build_dependency_graph(containers_to_nodes([n1, n2, n3]))
+    levels = g.bfs_levels()
+    assert [sorted(n.name for n in lvl) for lvl in levels] == [["n1", "n2"], ["n3"]]
+
+
+def test_rw_same_container_reads_and_writes(backend):
+    a = MemSet(backend, [4, 4], np.float64, name="A")
+
+    def loading(loader):
+        loader.read_write(a)
+        return lambda span: None
+
+    c1 = Container("c1", a, loading)
+    c2 = Container("c2", a, loading)
+    g = build_dependency_graph(containers_to_nodes([c1, c2]))
+    (edge,) = list(g.data_edges())
+    assert {DepKind.RAW, DepKind.WAW} <= edge[2] or {DepKind.RAW, DepKind.WAR} <= edge[2]
+
+
+def test_node_kind_and_pattern(paper_example=None, backend=None):
+    be = Backend.sim_gpus(2)
+    a = MemSet(be, [4, 4], np.float64, name="A")
+    node = containers_to_nodes([mk(be, "m", writes=[a])])[0]
+    assert node.kind is NodeKind.COMPUTE
+    assert a.uid in node.writes()
+    assert node.reads() == set()

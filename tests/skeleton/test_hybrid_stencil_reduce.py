@@ -1,0 +1,79 @@
+"""Regression: a *hybrid* container (stencil read + reduce target) must
+keep its full reduction value when OCC splits it.
+
+Found via the multigrid residual-norm container: under STANDARD OCC the
+hybrid was split as a stencil into two ASSIGN halves and the boundary
+half overwrote the internal contribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarResult
+from repro.domain import STENCIL_7PT, DenseGrid, SparseGrid
+from repro.sets import ReduceMode
+from repro.skeleton import Occ, Skeleton
+from repro.system import Backend
+
+
+def make_residual_norm(grid, u, f, partial):
+    """partial <- sum (f - A u)^2: stencil-reads u AND reduces."""
+
+    def loading(loader):
+        up = loader.read(u, stencil=True)
+        fp = loader.read(f)
+        acc = loader.reduce_target(partial)
+
+        def compute(span):
+            r = fp.view(span) - 6.0 * up.view(span)
+            for off in STENCIL_7PT:
+                if off != (0, 0, 0):
+                    r = r + up.neighbour(span, off)
+
+            acc.deposit(float(np.sum(r * r)))
+
+        return compute
+
+    return grid.new_container("residual_norm", loading)
+
+
+def run(grid_kind, ndev, occ, seed=3):
+    rng = np.random.default_rng(seed)
+    shape = (12, 5, 5)
+    backend = Backend.sim_gpus(ndev)
+    if grid_kind == "dense":
+        grid = DenseGrid(backend, shape, stencils=[STENCIL_7PT])
+    else:
+        mask = np.ones(shape, dtype=bool)
+        mask[:, 0, 0] = False
+        grid = SparseGrid(backend, mask=mask, stencils=[STENCIL_7PT])
+    u, f = grid.new_field("u"), grid.new_field("f")
+    du = rng.standard_normal(shape)
+    df = rng.standard_normal(shape)
+    u.init(lambda z, y, x: du[z, y, x])
+    f.init(lambda z, y, x: df[z, y, x])
+    partial = grid.new_reduce_partial("p")
+    Skeleton(backend, [make_residual_norm(grid, u, f, partial)], occ=occ).run()
+    return ScalarResult(partial).value()
+
+
+@pytest.mark.parametrize("grid_kind", ["dense", "sparse"])
+@pytest.mark.parametrize("occ", list(Occ))
+def test_hybrid_reduce_value_invariant_under_occ(grid_kind, occ):
+    ref = run(grid_kind, 1, Occ.NONE)
+    got = run(grid_kind, 3, occ)
+    assert got == pytest.approx(ref, rel=1e-12)
+
+
+def test_split_hybrid_halves_get_assign_then_accumulate():
+    backend = Backend.sim_gpus(2)
+    grid = DenseGrid(backend, (8, 4, 4), stencils=[STENCIL_7PT])
+    u, f = grid.new_field("u"), grid.new_field("f")
+    partial = grid.new_reduce_partial("p")
+    sk = Skeleton(backend, [make_residual_norm(grid, u, f, partial)], occ=Occ.STANDARD)
+    g = sk.graph
+    n_int = g.find("residual_norm.internal")
+    n_bnd = g.find("residual_norm.boundary")
+    assert n_int.reduce_mode is ReduceMode.ASSIGN
+    assert n_bnd.reduce_mode is ReduceMode.ACCUMULATE
+    assert g.has_edge(n_int, n_bnd)

@@ -1,0 +1,132 @@
+"""Multi-GPU graph construction edge cases beyond the paper's example."""
+
+import numpy as np
+import pytest
+
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.sets import Pattern
+from repro.skeleton import NodeKind, Occ, Skeleton, apply_occ, build_multi_gpu_graph
+from repro.system import Backend
+
+from .conftest import make_axpy, make_dot, make_laplace
+
+
+@pytest.fixture
+def env():
+    backend = Backend.sim_gpus(3)
+    grid = DenseGrid(backend, (12, 4, 4), stencils=[STENCIL_7PT])
+    fields = {n: grid.new_field(n) for n in "ABCD"}
+    for i, f in enumerate(fields.values()):
+        f.init(lambda z, y, x, i=i: np.sin(z + i))
+    return backend, grid, fields
+
+
+def stencil(grid, name, src, dst):
+    c = make_laplace(grid, src, dst)
+    c.name = name
+    return c
+
+
+def test_first_stencil_use_gets_conservative_halo(env):
+    """A field never written inside the skeleton still gets one halo
+    update before its first stencil read (its history is unknown)."""
+    backend, grid, f = env
+    g = build_multi_gpu_graph([stencil(grid, "st", f["A"], f["B"])], backend)
+    halos = [n for n in g.nodes if n.kind is NodeKind.HALO]
+    assert len(halos) == 1
+    assert not list(g.parents(halos[0]))  # no writer: the halo is a root
+
+
+def test_stencil_chain_inserts_halo_per_stage(env):
+    """A -> B -> C stencil chain: B's halo must refresh after B is written."""
+    backend, grid, f = env
+    g = build_multi_gpu_graph(
+        [stencil(grid, "st1", f["A"], f["B"]), stencil(grid, "st2", f["B"], f["C"])], backend
+    )
+    halos = {n.name for n in g.nodes if n.kind is NodeKind.HALO}
+    assert halos == {"halo(A)", "halo(B)"}
+    st1, st2 = g.find("st1"), g.find("st2")
+    hb = g.find("halo(B)")
+    assert g.has_edge(st1, hb)
+    assert g.has_edge(hb, st2)
+
+
+def test_stencil_writer_not_split_by_extended_occ(env):
+    """Extended OCC propagates splits to *map* writers only; a stencil
+    writer feeding a halo stays whole (its own split happened already or
+    its boundary/internal distinction does not line up with the halo)."""
+    backend, grid, f = env
+    g = build_multi_gpu_graph(
+        [stencil(grid, "st1", f["A"], f["B"]), stencil(grid, "st2", f["B"], f["C"])], backend
+    )
+    report = apply_occ(g, Occ.EXTENDED)
+    assert set(report.split_stencils) == {"st1", "st2"}
+    assert report.split_pre_maps == []  # no map writers in this program
+
+
+def test_two_stencils_reading_same_fresh_field_share_halo_and_split(env):
+    backend, grid, f = env
+    g = build_multi_gpu_graph(
+        [
+            make_axpy(grid, 1.0, f["A"], f["B"]),
+            stencil(grid, "st1", f["A"], f["C"]),
+            stencil(grid, "st2", f["A"], f["D"]),
+        ],
+        backend,
+    )
+    halos = [n for n in g.nodes if n.kind is NodeKind.HALO]
+    assert len(halos) == 1
+    report = apply_occ(g, Occ.EXTENDED)
+    assert set(report.split_stencils) == {"st1", "st2"}
+    # the shared writer splits once, not twice
+    assert report.split_pre_maps == ["axpy"]
+
+
+def test_functional_correctness_of_stencil_chain(env):
+    """Two chained stencils across OCC levels/devices: results identical."""
+    results = {}
+    for ndev, occ in [(1, Occ.NONE), (3, Occ.TWO_WAY)]:
+        backend = Backend.sim_gpus(ndev)
+        grid = DenseGrid(backend, (12, 4, 4), stencils=[STENCIL_7PT])
+        a, b, c = (grid.new_field(n) for n in "abc")
+        a.init(lambda z, y, x: np.sin(z * 1.0) + 0.1 * x)
+        sk = Skeleton(backend, [stencil(grid, "s1", a, b), stencil(grid, "s2", b, c)], occ=occ)
+        sk.run()
+        results[(ndev, occ)] = c.to_numpy()
+    vals = list(results.values())
+    assert np.allclose(vals[0], vals[1], atol=1e-12)
+
+
+def test_reduce_only_skeleton(env):
+    backend, grid, f = env
+    partial = grid.new_reduce_partial("p")
+    sk = Skeleton(backend, [make_dot(grid, f["A"], f["B"], partial)], occ=Occ.TWO_WAY)
+    sk.run()
+    # no halo, no split (no stencil): plain standard launch
+    assert all(n.kind is NodeKind.COMPUTE for n in sk.graph.nodes)
+    assert len(sk.graph.nodes) == 1
+
+
+def test_war_through_halo_orders_writer_after_transfer(env):
+    """A write to a field after a stencil read must wait for the halo
+    transfers that read the field's boundary (WaR on the payload)."""
+    backend, grid, f = env
+    g = build_multi_gpu_graph(
+        [stencil(grid, "st", f["A"], f["B"]), make_axpy(grid, 2.0, f["A"], f["A"])],
+        backend,
+    )
+    # axpy (named by conftest) rewrites A; the halo read A's boundary
+    halo = g.find("halo(A)")
+    axpy = g.find("axpy")
+    assert g.has_edge(halo, axpy)
+
+
+def test_war_through_halo_is_schedule_correct(env):
+    """And the generated schedule enforces it (checker-level proof)."""
+    backend, grid, f = env
+    sk = Skeleton(
+        backend,
+        [stencil(grid, "st", f["A"], f["B"]), make_axpy(grid, 2.0, f["A"], f["A"])],
+        occ=Occ.STANDARD,
+    )
+    sk.validate()

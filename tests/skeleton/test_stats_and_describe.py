@@ -1,0 +1,39 @@
+import pytest
+
+from repro.skeleton import Occ
+
+from .conftest import combine_partial
+from .test_scheduler import build_skeleton
+
+
+def test_traffic_accounting():
+    sk, _ = build_skeleton(ndev=2, occ=Occ.NONE, shape=(8, 4, 4))
+    result = sk.run()
+    s = result.stats
+    assert s.kernel_bytes > 0
+    assert s.kernel_flops >= 0
+    # 2 devices, radius-1 scalar halo: 2 messages of 16 cells * 8 B
+    assert s.copy_bytes == 2 * 16 * 8
+    # traffic is independent of OCC level (same cells, same fields)
+    sk2, _ = build_skeleton(ndev=2, occ=Occ.TWO_WAY, shape=(8, 4, 4))
+    s2 = sk2.run().stats
+    assert s2.kernel_bytes == pytest.approx(s.kernel_bytes)
+    assert s2.copy_bytes == s.copy_bytes
+
+
+def test_describe_summarises_plan():
+    sk, _ = build_skeleton(ndev=3, occ=Occ.TWO_WAY)
+    text = sk.describe()
+    assert "occ=two-way-extended" in text
+    assert "streams: 2" in text
+    assert "level 0" in text
+    assert "laplace.internal" in text
+    assert "hints:" in text
+    assert "axpy.boundary->axpy.internal" in text
+
+
+def test_describe_none_occ_has_no_splits():
+    sk, _ = build_skeleton(ndev=3, occ=Occ.NONE)
+    text = sk.describe()
+    assert "occ splits" not in text
+    assert "halo(X)" in text

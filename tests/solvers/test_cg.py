@@ -1,0 +1,99 @@
+"""Conjugate-gradient driver behaviour beyond the Poisson/elastic suites."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.skeleton import Occ
+from repro.solvers import ConjugateGradient
+from repro.solvers.poisson import make_neg_laplacian
+from repro.system import Backend
+
+
+def setup(ndev=2, shape=(8, 6, 6), occ=Occ.STANDARD, op=make_neg_laplacian):
+    backend = Backend.sim_gpus(ndev)
+    grid = DenseGrid(backend, shape, stencils=[STENCIL_7PT])
+    b = grid.new_field("b")
+    x = grid.new_field("x")
+    cg = ConjugateGradient(grid, op, b, x, occ=occ)
+    return grid, b, x, cg
+
+
+def test_non_positive_definite_operator_detected():
+    def plain_laplacian(grid, u, out, name):
+        # the raw Laplacian (not its negation) is negative semi-definite on
+        # the Dirichlet subspace: CG must refuse it
+        def loading(loader):
+            up = loader.read(u, stencil=True)
+            op_ = loader.write(out)
+
+            def compute(span):
+                acc = -6.0 * up.view(span)
+                for off in STENCIL_7PT:
+                    if off != (0, 0, 0):
+                        acc = acc + up.neighbour(span, off)
+                op_.view(span)[...] = acc
+
+            return compute
+
+        return grid.new_container(name, loading)
+
+    grid, b, x, cg = setup(op=plain_laplacian)
+    b.fill(1.0)
+    with pytest.raises(RuntimeError, match="positive definite"):
+        cg.solve(max_iterations=5)
+
+
+def test_warm_start_converges_faster():
+    grid, b, x, cg = setup()
+    rng = np.random.default_rng(5)
+    vals = rng.standard_normal(grid.shape)
+    b.init(lambda z, y, xx: vals[z, y, xx])
+    res_cold = cg.solve(max_iterations=300, tolerance=1e-10)
+    assert res_cold.converged
+    # x now holds the solution: restarting from it converges immediately
+    grid2, b2, x2, cg2 = setup()
+    b2.init(lambda z, y, xx: vals[z, y, xx])
+    x2.init(lambda z, y, xx: 0.0)
+    sol = x.to_numpy()[0]
+    x2.init(lambda z, y, xx: sol[z, y, xx])
+    res_warm = cg2.solve(max_iterations=300, tolerance=1e-10)
+    assert res_warm.iterations <= 1
+
+
+def test_max_iterations_respected():
+    grid, b, x, cg = setup(shape=(12, 10, 10))
+    rng = np.random.default_rng(3)
+    vals = rng.standard_normal(grid.shape)
+    b.init(lambda z, y, xx: vals[z, y, xx])
+    res = cg.solve(max_iterations=3, tolerance=1e-30)
+    assert not res.converged
+    assert res.iterations == 3
+    assert len(res.residual_norms) == 4  # initial + 3
+
+
+def test_residual_history_strictly_tracked():
+    grid, b, x, cg = setup()
+    b.fill(1.0)
+    res = cg.solve(max_iterations=200, tolerance=1e-10)
+    assert res.converged
+    assert res.final_residual <= 1e-10
+    assert res.residual_norms[0] > res.final_residual
+
+
+def test_empty_history_final_residual():
+    from repro.solvers.cg import CGResult
+
+    assert CGResult(converged=False, iterations=0).final_residual == float("inf")
+
+
+@pytest.mark.parametrize("occ", [Occ.NONE, Occ.TWO_WAY])
+def test_iteration_makespan_scales_with_grid(occ):
+    small = setup(shape=(16, 16, 16), occ=occ)[3].iteration_makespan()
+    # virtual large grid
+    backend = Backend.sim_gpus(2)
+    grid = DenseGrid(backend, (64, 64, 64), stencils=[STENCIL_7PT], virtual=True)
+    b, x = grid.new_field("b"), grid.new_field("x")
+    big = ConjugateGradient(grid, make_neg_laplacian, b, x, occ=occ).iteration_makespan()
+    assert big > small

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.skeleton import Occ
+from repro.solvers.eigen import (
+    PowerIteration,
+    laplacian_spectrum_bounds,
+    largest_eigenvalue,
+    smallest_eigenvalue,
+)
+from repro.solvers.poisson import make_neg_laplacian
+from repro.system import Backend
+
+
+def make_grid(ndev=2, shape=(8, 7, 6)):
+    return DenseGrid(Backend.sim_gpus(ndev), shape, stencils=[STENCIL_7PT])
+
+
+def test_analytic_bounds_sanity():
+    lo, hi = laplacian_spectrum_bounds((8, 8, 8))
+    assert 0 < lo < hi < 12.0  # spectrum of -lap lives in (0, 12)
+
+
+@pytest.mark.parametrize("ndev", [1, 3])
+def test_largest_eigenvalue_matches_analytic(ndev):
+    shape = (8, 7, 6)
+    grid = make_grid(ndev, shape)
+    res = largest_eigenvalue(grid, make_neg_laplacian, max_iterations=3000, tolerance=1e-12)
+    assert res.converged
+    _, hi = laplacian_spectrum_bounds(shape)
+    assert res.eigenvalue == pytest.approx(hi, rel=1e-3)
+
+
+def test_smallest_eigenvalue_via_shift():
+    shape = (7, 6, 6)
+    grid = make_grid(1, shape)
+    lo, hi = laplacian_spectrum_bounds(shape)
+    res = smallest_eigenvalue(grid, make_neg_laplacian, lambda_max=12.0, max_iterations=6000, tolerance=1e-13)
+    assert res.converged
+    assert res.eigenvalue == pytest.approx(lo, rel=1e-2)
+
+
+def test_rayleigh_history_is_sandwiched_by_spectrum():
+    shape = (8, 6, 6)
+    grid = make_grid(2, shape)
+    res = largest_eigenvalue(grid, make_neg_laplacian, max_iterations=50, tolerance=0.0)
+    lo, hi = laplacian_spectrum_bounds(shape)
+    for r in res.history:
+        assert lo - 1e-9 <= r <= hi + 1e-9
+    # power iteration's Rayleigh quotient increases towards lambda_max
+    assert res.history[-1] >= res.history[0]
+
+
+@pytest.mark.parametrize("occ", [Occ.NONE, Occ.TWO_WAY])
+def test_occ_invariant(occ):
+    shape = (8, 6, 6)
+    grid = make_grid(2, shape)
+    res = PowerIteration(grid, make_neg_laplacian, occ=occ).solve(max_iterations=200, tolerance=1e-10)
+    ref = PowerIteration(make_grid(1, shape), make_neg_laplacian, occ=Occ.NONE).solve(
+        max_iterations=200, tolerance=1e-10
+    )
+    n = min(len(res.history), len(ref.history))
+    assert np.allclose(res.history[:n], ref.history[:n], rtol=1e-9)

@@ -1,0 +1,135 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.skeleton import Occ
+from repro.solvers import ElasticitySolver, assembled_node_blocks, hex_element_stiffness
+from repro.solvers.elasticity import make_elastic_operator
+from repro.system import Backend
+
+
+def test_element_stiffness_symmetric_psd():
+    K = hex_element_stiffness(E=1.0, nu=0.3)
+    assert K.shape == (24, 24)
+    assert np.allclose(K, K.T, atol=1e-12)
+    w = np.linalg.eigvalsh(K)
+    assert w.min() > -1e-10  # PSD (6 rigid-body zero modes)
+    assert np.sum(np.abs(w) < 1e-9) == 6
+
+
+def test_element_stiffness_annihilates_rigid_motion():
+    K = hex_element_stiffness()
+    corners = np.array(list(itertools.product((0, 1), repeat=3)), dtype=float)
+    # translation in each dof direction
+    for d in range(3):
+        u = np.zeros(24)
+        u[d::3] = 1.0
+        assert np.allclose(K @ u, 0.0, atol=1e-12)
+    # infinitesimal rotation about z-ish axis: u = omega x r
+    u = np.zeros(24)
+    for a in range(8):
+        r = corners[a]
+        u[3 * a + 1] = -r[2]  # uy = -x
+        u[3 * a + 2] = r[1]  # ux = +y
+    assert np.allclose(K @ u, 0.0, atol=1e-12)
+
+
+def test_assembled_blocks_symmetry():
+    blocks = assembled_node_blocks()
+    for off, blk in blocks.items():
+        mirrored = blocks[tuple(-o for o in off)]
+        assert np.allclose(blk, mirrored.T, atol=1e-12)
+    # row sum over all offsets annihilates constant displacement
+    total = sum(blocks.values())
+    assert np.allclose(total, 0.0, atol=1e-12)
+
+
+def apply_operator(ndev, n, u_global):
+    """Apply the masked elastic operator to an arbitrary global field."""
+    from repro.core import ops
+    from repro.domain import STENCIL_27PT, DenseGrid
+    from repro.skeleton import Skeleton
+
+    backend = Backend.sim_gpus(ndev)
+    grid = DenseGrid(backend, (n, n, n), stencils=[STENCIL_27PT])
+    uf = grid.new_field("uin", cardinality=3)
+    qf = grid.new_field("qout", cardinality=3)
+    for c in range(3):
+        uf.init(lambda z, y, x, c=c: u_global[c, z, y, x], comp=c)
+    containers = make_elastic_operator()(grid, uf, qf, "A")
+    Skeleton(backend, containers, occ=Occ.NONE).run()
+    return qf.to_numpy()
+
+
+def test_operator_is_symmetric():
+    n = 5
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal((3, n, n, n))
+    v = rng.standard_normal((3, n, n, n))
+    Au = apply_operator(1, n, u)
+    Av = apply_operator(1, n, v)
+    assert np.dot(v.ravel(), Au.ravel()) == pytest.approx(np.dot(u.ravel(), Av.ravel()), rel=1e-10)
+
+
+def test_operator_positive_on_free_dofs():
+    n = 5
+    rng = np.random.default_rng(1)
+    u = rng.standard_normal((3, n, n, n))
+    u[:, 0] = 0.0  # zero on the Dirichlet plane
+    Au = apply_operator(1, n, u)
+    assert np.dot(u.ravel(), Au.ravel()) > 0
+
+
+def test_operator_multi_device_matches_single():
+    n = 6
+    rng = np.random.default_rng(2)
+    u = rng.standard_normal((3, n, n, n))
+    assert np.allclose(apply_operator(1, n, u), apply_operator(2, n, u), atol=1e-12)
+
+
+@pytest.mark.parametrize("ndev", [1, 2])
+def test_pressure_pulls_cube_upward(ndev):
+    solver = ElasticitySolver.solid_cube(Backend.sim_gpus(ndev), 8, pressure=0.01)
+    res = solver.solve(max_iterations=400, tolerance=1e-9)
+    assert res.converged
+    u = solver.displacement()
+    uz = u[0]
+    # base is fixed
+    assert np.allclose(uz[0], 0.0, atol=1e-12)
+    # outward (+z) pressure stretches the cube: top plane moves up
+    assert uz[-1].mean() > 0
+    # displacement grows monotonically with height (uniaxial-ish stretch)
+    profile = uz.mean(axis=(1, 2))
+    assert (np.diff(profile) > -1e-12).all()
+
+
+def test_dense_and_sparse_grids_agree():
+    results = {}
+    for sparse in (False, True):
+        solver = ElasticitySolver.solid_cube(
+            Backend.sim_gpus(2), 8, solid_fraction=0.5, sparse=sparse, pressure=0.01
+        )
+        res = solver.solve(max_iterations=500, tolerance=1e-10)
+        assert res.converged
+        results[sparse] = solver.displacement()
+    dense, sparse = results[False], results[True]
+    active = np.isfinite(sparse).all(axis=0)
+    assert np.allclose(dense[:, active], sparse[:, active], atol=1e-7)
+
+
+def test_stiffer_material_displaces_less():
+    soft = ElasticitySolver.solid_cube(Backend.sim_gpus(1), 6, E=1.0, pressure=0.01)
+    stiff = ElasticitySolver.solid_cube(Backend.sim_gpus(1), 6, E=10.0, pressure=0.01)
+    soft.solve(max_iterations=300, tolerance=1e-9)
+    stiff.solve(max_iterations=300, tolerance=1e-9)
+    assert abs(stiff.displacement()).max() < abs(soft.displacement()).max()
+
+
+def test_virtual_solver_times_but_does_not_solve():
+    solver = ElasticitySolver.solid_cube(Backend.sim_gpus(4), 64, virtual=True)
+    assert solver.iteration_makespan() > 0
+    solver_sparse = ElasticitySolver.solid_cube(
+        Backend.sim_gpus(4), 64, solid_fraction=0.2, sparse=True, virtual=True
+    )
+    assert solver_sparse.iteration_makespan() > 0

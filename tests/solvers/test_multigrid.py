@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.solvers import manufactured_problem
+from repro.solvers.multigrid import (
+    TwoGridPoisson,
+    prolong_block,
+    restrict_full_weighting,
+)
+from repro.solvers.smoothers import IterativePoisson
+from repro.system import Backend
+
+
+def test_restriction_averages_blocks():
+    fine = np.arange(8.0).reshape(2, 2, 2)
+    coarse = restrict_full_weighting(fine)
+    assert coarse.shape == (1, 1, 1)
+    assert coarse[0, 0, 0] == pytest.approx(fine.mean())
+
+
+def test_restriction_requires_even_extents():
+    with pytest.raises(ValueError):
+        restrict_full_weighting(np.zeros((3, 4, 4)))
+
+
+def test_prolongation_fills_blocks():
+    coarse = np.array([[[1.0, 2.0]]])
+    fine = prolong_block(coarse)
+    assert fine.shape == (2, 2, 4)
+    assert np.all(fine[:, :, :2] == 1.0)
+    assert np.all(fine[:, :, 2:] == 2.0)
+
+
+def test_restrict_prolong_roundtrip_preserves_constants():
+    c = np.full((4, 4, 4), 3.5)
+    assert np.allclose(restrict_full_weighting(prolong_block(c)), c)
+
+
+@pytest.mark.parametrize("ndev", [1, 2])
+def test_two_grid_converges_to_manufactured_solution(ndev):
+    shape = (12, 12, 12)
+    u_exact, f = manufactured_problem(shape)
+    mg = TwoGridPoisson(Backend.sim_gpus(ndev), shape)
+    mg.set_rhs(lambda z, y, x: f[z, y, x])
+    res = mg.solve(max_cycles=40, tolerance=1e-9)
+    assert res.converged
+    assert np.allclose(mg.solution(), u_exact, atol=1e-6)
+
+
+def test_two_grid_beats_plain_smoothing():
+    """The whole point of multigrid: a V-cycle kills low-frequency error
+    that plain relaxation barely touches."""
+    shape = (16, 16, 16)
+    _, f = manufactured_problem(shape)
+
+    mg = TwoGridPoisson(Backend.sim_gpus(2), shape, pre_smooth=2, post_smooth=2)
+    mg.set_rhs(lambda z, y, x: f[z, y, x])
+    r0 = mg.residual_norm()
+    mg.cycle()
+    mg_drop = mg.residual_norm() / r0
+
+    sm = IterativePoisson(Backend.sim_gpus(2), shape, method="rbgs")
+    sm.set_rhs(lambda z, y, x: f[z, y, x])
+    s0 = sm.residual_norm()
+    sm.sweep(4)  # same smoothing effort as the cycle's pre+post
+    sm_drop = sm.residual_norm() / s0
+
+    assert mg_drop < 0.4 * sm_drop
+
+
+def test_residuals_decrease_per_cycle():
+    shape = (12, 12, 12)
+    _, f = manufactured_problem(shape)
+    mg = TwoGridPoisson(Backend.sim_gpus(2), shape)
+    mg.set_rhs(lambda z, y, x: f[z, y, x])
+    res = mg.solve(max_cycles=6, tolerance=0.0)
+    drops = [b / a for a, b in zip(res.residual_norms, res.residual_norms[1:])]
+    assert all(d < 1.0 for d in drops)
+
+
+def test_odd_shape_rejected():
+    with pytest.raises(ValueError):
+        TwoGridPoisson(Backend.sim_gpus(1), (9, 8, 8))

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+import scipy.sparse
+import scipy.sparse.linalg
+
+from repro.skeleton import Occ
+from repro.solvers import PoissonSolver, manufactured_problem
+from repro.system import Backend
+
+
+def test_manufactured_problem_consistency():
+    u, f = manufactured_problem((6, 5, 4))
+    # f must equal the 7-point operator applied to u with zero borders
+    lap = 6.0 * u
+    pad = np.pad(u, 1)
+    lap -= pad[:-2, 1:-1, 1:-1] + pad[2:, 1:-1, 1:-1]
+    lap -= pad[1:-1, :-2, 1:-1] + pad[1:-1, 2:, 1:-1]
+    lap -= pad[1:-1, 1:-1, :-2] + pad[1:-1, 1:-1, 2:]
+    assert np.allclose(f, lap)
+
+
+@pytest.mark.parametrize("ndev", [1, 3])
+def test_cg_recovers_manufactured_solution(ndev):
+    shape = (12, 10, 8)
+    u_exact, f = manufactured_problem(shape)
+    solver = PoissonSolver(Backend.sim_gpus(ndev), shape, occ=Occ.STANDARD)
+    solver.set_rhs(lambda z, y, x: f[z, y, x])
+    result = solver.solve(max_iterations=400, tolerance=1e-10)
+    assert result.converged
+    assert np.allclose(solver.solution(), u_exact, atol=1e-7)
+
+
+def test_solution_matches_scipy_direct_solver():
+    shape = (8, 7, 6)
+    rng = np.random.default_rng(7)
+    f = rng.standard_normal(shape)
+    solver = PoissonSolver(Backend.sim_gpus(2), shape)
+    solver.set_rhs(lambda z, y, x: f[z, y, x])
+    result = solver.solve(max_iterations=500, tolerance=1e-12)
+    assert result.converged
+
+    n = np.prod(shape)
+    A = scipy.sparse.lil_matrix((n, n))
+    idx = np.arange(n).reshape(shape)
+    for p in np.ndindex(shape):
+        i = idx[p]
+        A[i, i] = 6.0
+        for axis in range(3):
+            for s in (-1, 1):
+                q = list(p)
+                q[axis] += s
+                if 0 <= q[axis] < shape[axis]:
+                    A[i, idx[tuple(q)]] = -1.0
+    u_ref = scipy.sparse.linalg.spsolve(A.tocsr(), f.ravel()).reshape(shape)
+    assert np.allclose(solver.solution(), u_ref, atol=1e-8)
+
+
+@pytest.mark.parametrize("occ", list(Occ))
+def test_all_occ_levels_give_identical_iterations(occ):
+    """OCC is a pure scheduling change: residual histories must match."""
+    shape = (12, 6, 6)
+    _, f = manufactured_problem(shape)
+    solver = PoissonSolver(Backend.sim_gpus(3), shape, occ=occ)
+    solver.set_rhs(lambda z, y, x: f[z, y, x])
+    res = solver.solve(max_iterations=50, tolerance=1e-10)
+    baseline = PoissonSolver(Backend.sim_gpus(1), shape, occ=Occ.NONE)
+    baseline.set_rhs(lambda z, y, x: f[z, y, x])
+    res_base = baseline.solve(max_iterations=50, tolerance=1e-10)
+    assert np.allclose(res.residual_norms, res_base.residual_norms, rtol=1e-9)
+
+
+def test_residuals_monotone_decreasing_overall():
+    shape = (10, 8, 8)
+    _, f = manufactured_problem(shape)
+    solver = PoissonSolver(Backend.sim_gpus(2), shape)
+    solver.set_rhs(lambda z, y, x: f[z, y, x])
+    res = solver.solve(max_iterations=200, tolerance=1e-10)
+    assert res.converged
+    assert res.residual_norms[-1] < 1e-10 * 0 + 1e-10 or res.residual_norms[-1] <= res.residual_norms[0]
+    assert res.residual_norms[-1] < res.residual_norms[0] * 1e-6
+
+
+def test_zero_rhs_converges_immediately():
+    solver = PoissonSolver(Backend.sim_gpus(1), (6, 6, 6))
+    res = solver.solve()
+    assert res.converged
+    assert res.iterations == 0
+
+
+def test_iteration_makespan_positive():
+    solver = PoissonSolver(Backend.sim_gpus(2), (64, 32, 32), virtual=True)
+    assert solver.iteration_makespan() > 0

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.skeleton import Occ
+from repro.solvers import manufactured_problem
+from repro.solvers.smoothers import IterativePoisson
+from repro.system import Backend
+
+
+def setup(method, ndev=2, shape=(10, 8, 8)):
+    _, f = manufactured_problem(shape)
+    it = IterativePoisson(Backend.sim_gpus(ndev), shape, method=method)
+    it.set_rhs(lambda z, y, x: f[z, y, x])
+    return it
+
+
+@pytest.mark.parametrize("method", ["jacobi", "rbgs"])
+def test_residual_decreases_monotonically(method):
+    it = setup(method)
+    r0 = it.residual_norm()
+    history = [r0]
+    for _ in range(6):
+        it.sweep(5)
+        history.append(it.residual_norm())
+    assert all(b < a for a, b in zip(history, history[1:]))
+    assert history[-1] < 0.2 * history[0]
+
+
+@pytest.mark.parametrize("method", ["jacobi", "rbgs"])
+def test_converges_to_manufactured_solution(method):
+    shape = (8, 6, 6)
+    u_exact, f = manufactured_problem(shape)
+    it = IterativePoisson(Backend.sim_gpus(2), shape, method=method)
+    it.set_rhs(lambda z, y, x: f[z, y, x])
+    it.sweep(600)
+    assert np.allclose(it.solution(), u_exact, atol=1e-5)
+
+
+def test_gauss_seidel_converges_about_twice_as_fast():
+    """Classic result: rho(GS) = rho(Jacobi)^2 for this model problem, so
+    GS needs roughly half the sweeps for the same residual drop."""
+    target = None
+    sweeps_needed = {}
+    for method in ("jacobi", "rbgs"):
+        it = setup(method, shape=(10, 10, 10))
+        r0 = it.residual_norm()
+        target = 0.01 * r0
+        n = 0
+        while it.residual_norm() > target and n < 2000:
+            it.sweep(1)
+            n += 1
+        sweeps_needed[method] = n
+    ratio = sweeps_needed["jacobi"] / sweeps_needed["rbgs"]
+    assert 1.5 < ratio < 3.0
+
+
+@pytest.mark.parametrize("method", ["jacobi", "rbgs"])
+def test_multi_device_matches_single(method):
+    outs = {}
+    for ndev in (1, 3):
+        it = setup(method, ndev=ndev, shape=(12, 6, 6))
+        it.sweep(40)
+        outs[ndev] = it.solution()
+    assert np.allclose(outs[1], outs[3], atol=1e-12)
+
+
+def test_rbgs_inserts_halo_between_half_sweeps():
+    it = setup("rbgs")
+    from repro.skeleton import NodeKind
+
+    halos = [n for n in it.sweeps[0].graph.nodes if n.kind is NodeKind.HALO]
+    assert len(halos) == 2  # one before red, one before black
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        IterativePoisson(Backend.sim_gpus(1), (6, 6, 6), method="sor")
+
+
+def test_matches_cg_solution():
+    shape = (8, 6, 6)
+    rng = np.random.default_rng(11)
+    f = rng.standard_normal(shape)
+    it = setup("rbgs", shape=shape)
+    it.set_rhs(lambda z, y, x: f[z, y, x])
+    it.sweep(800)
+    from repro.solvers import PoissonSolver
+
+    cg = PoissonSolver(Backend.sim_gpus(1), shape)
+    cg.set_rhs(lambda z, y, x: f[z, y, x])
+    cg.solve(max_iterations=400, tolerance=1e-11)
+    assert np.allclose(it.solution(), cg.solution(), atol=1e-4)

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.system import AllocationError, DeviceAllocator, DeviceSet, MemOptions
+
+
+@pytest.fixture
+def dev():
+    return DeviceSet.gpus(2)[0]
+
+
+def test_buffer_zero_initialised(dev):
+    alloc = DeviceAllocator()
+    buf = alloc.allocate(dev, (8, 3), np.float64)
+    assert buf.shape == (8, 3)
+    assert buf.dtype == np.float64
+    assert np.all(buf.array == 0.0)
+
+
+def test_allocated_bytes_rounds_to_alignment(dev):
+    alloc = DeviceAllocator()
+    buf = alloc.allocate(dev, (3,), np.float32, MemOptions(alignment=256))
+    assert buf.nbytes == 12
+    assert buf.allocated_bytes == 256
+
+
+def test_padding_adds_elements(dev):
+    alloc = DeviceAllocator()
+    buf = alloc.allocate(dev, (4,), np.float64, MemOptions(alignment=1, padding=2))
+    assert buf.padding_bytes == 16
+    assert buf.allocated_bytes == 4 * 8 + 16
+
+
+def test_capacity_enforced_per_device():
+    ds = DeviceSet.gpus(2)
+    alloc = DeviceAllocator(capacity_bytes=1024)
+    alloc.allocate(ds[0], (64,), np.float64, MemOptions(alignment=1))  # 512 B
+    alloc.allocate(ds[1], (100,), np.float64, MemOptions(alignment=1))  # other device, fine
+    with pytest.raises(AllocationError):
+        alloc.allocate(ds[0], (100,), np.float64, MemOptions(alignment=1))
+
+
+def test_free_returns_capacity(dev):
+    alloc = DeviceAllocator(capacity_bytes=1024)
+    buf = alloc.allocate(dev, (128,), np.float64, MemOptions(alignment=1))
+    alloc.free(buf)
+    assert alloc.used_bytes(dev) == 0
+    alloc.allocate(dev, (128,), np.float64, MemOptions(alignment=1))
+
+
+def test_double_free_rejected(dev):
+    alloc = DeviceAllocator()
+    buf = alloc.allocate(dev, (4,), np.float32)
+    alloc.free(buf)
+    with pytest.raises(AllocationError):
+        alloc.free(buf)
+
+
+def test_bad_alignment_rejected():
+    with pytest.raises(ValueError):
+        MemOptions(alignment=3)
+    with pytest.raises(ValueError):
+        MemOptions(alignment=0)
+
+
+def test_negative_padding_rejected():
+    with pytest.raises(ValueError):
+        MemOptions(padding=-1)

@@ -1,0 +1,79 @@
+import pytest
+
+from repro.system import CommandQueue, DeviceSet, Event, KernelCost
+
+
+@pytest.fixture
+def dev():
+    return DeviceSet.gpus(2)[0]
+
+
+def test_eager_kernel_runs_at_enqueue(dev):
+    q = CommandQueue(dev, eager=True)
+    hits = []
+    q.enqueue_kernel("k", lambda: hits.append(1), KernelCost(bytes_moved=8))
+    assert hits == [1]
+    assert len(q) == 1
+
+
+def test_lazy_queue_records_without_running(dev):
+    q = CommandQueue(dev, eager=False)
+    hits = []
+    q.enqueue_kernel("k", lambda: hits.append(1), KernelCost(bytes_moved=8))
+    assert hits == []
+    assert len(q) == 1
+
+
+def test_copy_command_records_endpoints():
+    ds = DeviceSet.gpus(2)
+    q = CommandQueue(ds[0], eager=False)
+    cmd = q.enqueue_copy("c", lambda: None, ds[0], ds[1], nbytes=128)
+    assert cmd.src is ds[0]
+    assert cmd.dst is ds[1]
+    assert cmd.nbytes == 128
+
+
+def test_negative_copy_size_rejected():
+    ds = DeviceSet.gpus(2)
+    q = CommandQueue(ds[0], eager=False)
+    with pytest.raises(ValueError):
+        q.enqueue_copy("c", lambda: None, ds[0], ds[1], nbytes=-1)
+
+
+def test_event_records_position(dev):
+    q = CommandQueue(dev, eager=False)
+    q.enqueue_kernel("k", lambda: None, KernelCost(bytes_moved=1))
+    ev = Event("e")
+    q.record_event(ev)
+    assert ev.is_recorded
+    assert ev.recorded_in is q
+    assert ev.record_position == 1
+
+
+def test_event_is_one_shot(dev):
+    q = CommandQueue(dev, eager=False)
+    ev = Event()
+    q.record_event(ev)
+    with pytest.raises(RuntimeError):
+        q.record_event(ev)
+
+
+def test_wait_event_enqueues(dev):
+    q = CommandQueue(dev, eager=False)
+    ev = Event()
+    q.wait_event(ev)
+    assert len(q) == 1
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"bytes_moved": -1},
+        {"bytes_moved": 1, "flops": -1},
+        {"bytes_moved": 1, "indirection": 0.5},
+        {"bytes_moved": 1, "launches": 0},
+    ],
+)
+def test_invalid_kernel_cost_rejected(kw):
+    with pytest.raises(ValueError):
+        KernelCost(**kw)

@@ -1,0 +1,51 @@
+"""API hygiene meta-tests: exported names exist and are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro.system",
+    "repro.sim",
+    "repro.sets",
+    "repro.domain",
+    "repro.skeleton",
+    "repro.core",
+    "repro.solvers",
+    "repro.solvers.lbm",
+    "repro.baselines",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_names_resolve(pkg):
+    mod = importlib.import_module(pkg)
+    assert hasattr(mod, "__all__"), f"{pkg} has no __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{pkg}.__all__ exports missing name '{name}'"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_public_classes_and_functions_documented(pkg):
+    mod = importlib.import_module(pkg)
+    undocumented = []
+    for name in mod.__all__:
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(f"{pkg}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_module_docstrings_exist(pkg):
+    mod = importlib.import_module(pkg)
+    assert (mod.__doc__ or "").strip(), f"{pkg} lacks a module docstring"
+
+
+def test_package_version():
+    import repro
+
+    assert repro.__version__

@@ -1,0 +1,51 @@
+"""CLI smoke tests for ``python -m repro``."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args], capture_output=True, text=True, timeout=300
+    )
+
+
+def test_list_shows_every_experiment():
+    proc = run_cli("list")
+    assert proc.returncode == 0
+    for key in EXPERIMENTS:
+        assert key in proc.stdout
+
+
+def test_info_reports_models():
+    proc = run_cli("info")
+    assert proc.returncode == 0
+    assert "dgx-a100-8" in proc.stdout
+    assert "repro 0.1.0" in proc.stdout
+
+
+def test_unknown_experiment_rejected():
+    proc = run_cli("reproduce", "fig99")
+    assert proc.returncode == 2
+    assert "unknown experiment" in proc.stderr
+
+
+def test_experiment_files_exist():
+    from repro.__main__ import BENCH_DIR
+
+    for fname, _desc in EXPERIMENTS.values():
+        assert (BENCH_DIR / fname).exists(), fname
+
+
+def test_main_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_reproduce_runs_one_bench():
+    proc = run_cli("reproduce", "fig1")
+    assert proc.returncode == 0
