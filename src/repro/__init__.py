@@ -12,6 +12,7 @@ The package mirrors the paper's abstraction hierarchy:
 * :mod:`repro.solvers` — LBM, Poisson, linear elasticity applications
 * :mod:`repro.baselines` — hand-written comparators (cuboltz/stlbm roles)
 * :mod:`repro.bench`   — metrics and harnesses for the paper's tables/figures
+* :mod:`repro.observability` — structured tracing, metrics, profiling hooks
 """
 
 __version__ = "0.1.0"

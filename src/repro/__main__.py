@@ -5,6 +5,9 @@
     python -m repro reproduce all        # regenerate everything
     python -m repro collect              # print measured tables (markdown)
     python -m repro info                 # package / machine-model summary
+    python -m repro trace fig1 -o trace.json   # run a miniature of an
+        # experiment with the observability layer enabled and export a
+        # Chrome/Perfetto trace (real + simulated timelines + metrics)
 """
 
 from __future__ import annotations
@@ -61,6 +64,38 @@ def cmd_collect() -> int:
     return 0
 
 
+def cmd_trace(name: str, out: str, devices: int) -> int:
+    from repro import observability as obs
+    from repro.bench.traceable import build_workload
+
+    if devices < 1:
+        print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
+        return 2
+    try:
+        obs.enable()
+        workload = build_workload(name, devices=devices)
+        workload.run()
+        sim = workload.sim_trace()
+        obs.disable()
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    path = obs.export_chrome_trace(
+        out,
+        sim_trace=sim,
+        meta={"experiment": name, "workload": workload.description, "devices": devices},
+    )
+    m = obs.metrics()
+    print(f"{name}: {workload.description} on {devices} simulated devices")
+    print(f"  real spans:      {len(obs.tracer())}")
+    print(f"  kernel launches: {m.total('kernel_launches'):g}")
+    print(f"  halo bytes sent: {m.total('halo_bytes_sent'):g}")
+    print(f"  sync waits:      {m.total('sync_waits'):g}")
+    print(f"\n{m.to_markdown()}")
+    print(f"\nwrote {path} — open in https://ui.perfetto.dev (real + sim:* tracks)")
+    return 0
+
+
 def cmd_info() -> int:
     import numpy
 
@@ -88,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
     rep.add_argument("names", nargs="+", help="experiment keys, or 'all'")
     sub.add_parser("collect", help="print measured result tables as markdown")
     sub.add_parser("info", help="package and machine-model summary")
+    tr = sub.add_parser("trace", help="run an instrumented miniature of an experiment")
+    tr.add_argument("name", help="experiment key (e.g. fig1); see 'list'")
+    tr.add_argument("-o", "--output", default="trace.json", help="Chrome trace JSON output path")
+    tr.add_argument("--devices", type=int, default=2, help="simulated device count (default 2)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -95,6 +134,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_reproduce(args.names)
     if args.command == "collect":
         return cmd_collect()
+    if args.command == "trace":
+        return cmd_trace(args.name, args.output, args.devices)
     return cmd_info()
 
 

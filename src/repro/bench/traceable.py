@@ -1,0 +1,110 @@
+"""Small, real-execution workloads behind ``python -m repro trace``.
+
+The paper benchmarks run virtual (planning-only) domains at paper scale;
+for observability we want the opposite: tiny domains executed for real,
+so the wall-clock tracer sees compile phases, eager kernel launches and
+halo copies, while the DES still yields the matching simulated timeline.
+Each named workload maps an experiment key to a representative miniature
+of that experiment's pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core import ops
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.sim import Trace, pcie_a100
+from repro.skeleton import Occ, Skeleton
+from repro.system import Backend
+
+
+class TraceWorkload:
+    """A named bundle of skeletons executed eagerly for tracing."""
+
+    def __init__(self, name: str, description: str, skeletons: list[Skeleton], iterations: int = 1):
+        self.name = name
+        self.description = description
+        self.skeletons = skeletons
+        self.iterations = iterations
+
+    def run(self) -> None:
+        for _ in range(self.iterations):
+            for sk in self.skeletons:
+                sk.run()
+
+    def sim_trace(self) -> Trace:
+        """Simulated timeline of the first skeleton's last execution."""
+        return self.skeletons[0].trace()
+
+
+def _laplace(grid, x, y, name: str = "laplace"):
+    def loading(loader):
+        xp = loader.read(x, stencil=True)
+        yp = loader.write(y)
+
+        def compute(span):
+            acc = -6.0 * xp.view(span)
+            for off in STENCIL_7PT:
+                if off != (0, 0, 0):
+                    acc = acc + xp.neighbour(span, off)
+            yp.view(span)[...] = acc
+
+        return compute
+
+    return grid.new_container(name, loading, flops_per_cell=7.0)
+
+
+def _fig1(devices: int) -> TraceWorkload:
+    backend = Backend.sim_gpus(devices, machine=pcie_a100(devices))
+    grid = DenseGrid(backend, (32, 32, 32), stencils=[STENCIL_7PT], name="fig1")
+    x, y = grid.new_field("x"), grid.new_field("y")
+    sk = Skeleton(backend, [ops.axpy(grid, 2.0, y, x), _laplace(grid, x, y)], occ=Occ.STANDARD, name="fig1")
+    return TraceWorkload("fig1", "map+stencil workflow (Fig 1) on a tiny real grid", [sk])
+
+
+def _fig8top(devices: int) -> TraceWorkload:
+    from repro.solvers.poisson import make_neg_laplacian
+
+    backend = Backend.sim_gpus(devices, machine=pcie_a100(devices))
+    grid = DenseGrid(backend, (24, 24, 24), stencils=[STENCIL_7PT], name="poisson")
+    u, r = grid.new_field("u"), grid.new_field("r")
+    sk = Skeleton(
+        backend,
+        [make_neg_laplacian(grid, u, r), ops.axpy(grid, -0.1, r, u, name="jacobi_update")],
+        occ=Occ.STANDARD,
+        name="poisson_iter",
+    )
+    return TraceWorkload("fig8top", "one Poisson stencil+update iteration", [sk], iterations=2)
+
+
+def _lbm(devices: int) -> TraceWorkload:
+    from repro.solvers.lbm import LidDrivenCavity
+
+    cavity = LidDrivenCavity(Backend.sim_gpus(devices, machine=pcie_a100(devices)), (16, 16, 16))
+    return TraceWorkload("lbm", "two lid-driven-cavity LBM iterations (D3Q19)", cavity.skeletons)
+
+
+def _micro(devices: int) -> TraceWorkload:
+    backend = Backend.sim_gpus(devices, machine=pcie_a100(devices))
+    grid = DenseGrid(backend, (32, 32, 32), stencils=[STENCIL_7PT], name="micro")
+    x, y = grid.new_field("x"), grid.new_field("y")
+    sk = Skeleton(backend, [ops.copy(grid, x, y), ops.axpy(grid, 1.5, y, x)], occ=Occ.NONE, name="micro")
+    return TraceWorkload("micro", "map-only framework microbenchmark", [sk], iterations=4)
+
+
+WORKLOADS = {
+    "fig1": _fig1,
+    "fig7": _lbm,
+    "fig8top": _fig8top,
+    "fig8bottom": _fig8top,
+    "table1": _lbm,
+    "table2": _lbm,
+    "micro": _micro,
+}
+
+
+def build_workload(name: str, devices: int = 2) -> TraceWorkload:
+    """Instantiate the traceable miniature of one experiment."""
+    if name not in WORKLOADS:
+        supported = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"no traceable workload for '{name}'; supported: {supported}")
+    return WORKLOADS[name](devices)

@@ -1,0 +1,48 @@
+"""Exporters: unified Chrome trace-event documents and metrics reports.
+
+The Chrome trace-event format accepts either a bare event array or an
+object with a ``traceEvents`` key plus arbitrary extra keys (Perfetto
+ignores the ones it does not know).  We use the object form so a single
+file can carry the real timeline, the simulated timeline, and the
+metrics snapshot together.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+
+def merge_chrome_traces(
+    real_events: list[dict] | None = None,
+    sim_events: list[dict] | None = None,
+    metrics: dict | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Combine real and simulated Chrome trace events into one document.
+
+    Simulated events (from :meth:`repro.sim.Trace.to_chrome_trace`) get
+    their ``pid`` prefixed with ``sim:`` so both timelines appear as
+    separate process groups on one Perfetto screen.
+    """
+    events: list[dict] = []
+    for ev in real_events or []:
+        events.append(ev)
+    for ev in sim_events or []:
+        ev = dict(ev)
+        ev["pid"] = f"sim:{ev.get('pid', 'device')}"
+        events.append(ev)
+    doc: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["metrics"] = metrics
+    if meta is not None:
+        doc["otherData"] = meta
+    return doc
+
+
+def write_chrome_trace(path, doc: dict | list) -> pathlib.Path:
+    """Serialise a trace document (or bare event list) to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=False))
+    return path

@@ -1,0 +1,187 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+Metrics are labeled series: ``registry.counter("halo_bytes_sent",
+src="0", dst="1").inc(nbytes)`` creates (or reuses) the series of that
+name with exactly those labels.  All mutation goes through one registry
+lock, so concurrent instrumented code (e.g. future threaded executors)
+stays consistent; the lock is only ever taken when observability is
+enabled, so the disabled path pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+SeriesKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins), tracking its max."""
+
+    __slots__ = ("name", "labels", "value", "max", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+            if value > self.max:
+                self.max = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+            if self.value > self.max:
+                self.max = self.value
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """A distribution summary: count/sum/min/max plus power-of-4 buckets."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets", "_lock")
+
+    #: bucket upper bounds: 4^0 .. 4^15 then +inf (covers 1 B .. ~1 GB)
+    BOUNDS = tuple(4.0**i for i in range(16)) + (float("inf"),)
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets = [0] * len(self.BOUNDS)
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.BOUNDS):
+                if value <= bound:
+                    self.buckets[i] += 1
+                    break
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe home for every labeled metric series."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._series: dict[SeriesKey, object] = {}
+        self.updates = 0  # instrumentation events, for overhead accounting
+
+    def _get(self, cls, name: str, labels: dict[str, str]):
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self.updates += 1
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = cls(name, labels, self._lock)
+            elif not isinstance(series, cls):
+                raise TypeError(f"metric '{name}' already registered as {type(series).__name__}")
+        return series
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- queries -----------------------------------------------------------
+    def series(self, name: str | None = None) -> list:
+        with self._lock:
+            return [s for (n, _), s in sorted(self._series.items()) if name is None or n == name]
+
+    def total(self, name: str) -> float:
+        """Sum of a counter's value across all its labeled series."""
+        return sum(s.value for s in self.series(name) if isinstance(s, Counter))
+
+    def value(self, name: str, **labels: str) -> float | None:
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            s = self._series.get(key)
+        if s is None:
+            return None
+        return s.value if not isinstance(s, Histogram) else s.total
+
+    # -- exporters ---------------------------------------------------------
+    def to_json(self) -> dict:
+        """JSON-serialisable snapshot of every series."""
+        out: dict[str, list] = {}
+        for s in self.series():
+            entry: dict = {"labels": dict(s.labels)}
+            if isinstance(s, Counter):
+                entry["type"] = "counter"
+                entry["value"] = s.value
+            elif isinstance(s, Gauge):
+                entry["type"] = "gauge"
+                entry["value"] = s.value
+                entry["max"] = s.max
+            else:
+                entry["type"] = "histogram"
+                entry.update(count=s.count, sum=s.total, mean=s.mean)
+                if s.count:
+                    entry.update(min=s.min, max=s.max)
+            out.setdefault(s.name, []).append(entry)
+        return out
+
+    def to_markdown(self) -> str:
+        """Human-readable metrics report (one table row per series)."""
+        rows = []
+        for s in self.series():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(s.labels.items())) or "-"
+            if isinstance(s, Counter):
+                rows.append((s.name, "counter", labels, f"{s.value:g}"))
+            elif isinstance(s, Gauge):
+                rows.append((s.name, "gauge", labels, f"{s.value:g} (max {s.max:g})"))
+            else:
+                rows.append((s.name, "histogram", labels, f"n={s.count} sum={s.total:g} mean={s.mean:g}"))
+        if not rows:
+            return "(no metrics recorded)"
+        widths = [max(len(r[i]) for r in rows + [("metric", "type", "labels", "value")]) for i in range(4)]
+        header = ("metric", "type", "labels", "value")
+        lines = [
+            "| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |",
+            "|-" + "-|-".join("-" * w for w in widths) + "-|",
+        ]
+        for r in rows:
+            lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(r, widths)) + " |")
+        return "\n".join(lines)

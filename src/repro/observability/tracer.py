@@ -1,0 +1,134 @@
+"""Zero-dependency structured tracer: nested wall-clock spans.
+
+A :class:`Tracer` records :class:`TraceSpan` entries with monotonic
+(``time.perf_counter``) timestamps relative to the tracer's epoch, so a
+timeline always starts near zero.  Spans nest per thread (a depth field
+tracks the enclosing span count) and recording is thread-safe: spans are
+appended under a lock, and the nesting stack is thread-local.
+
+The exporter mirrors :meth:`repro.sim.trace.Trace.to_chrome_trace` —
+same event shape (``ph: "X"`` complete events, microsecond timestamps,
+``pid``/``tid`` tracks) — so real and simulated timelines load
+side-by-side in Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceSpan:
+    """One completed span: a named interval on a (pid, tid) track.
+
+    ``start``/``end`` are seconds since the tracer epoch.  ``cat`` uses
+    the simulator's vocabulary where it applies (``kernel``, ``copy``,
+    ``sync``) plus host-side categories (``compile``, ``phase``).
+    """
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    pid: str = "host"
+    tid: str = ""
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _SpanHandle:
+    """Context manager for one in-flight span (returned by Tracer.span)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: TraceSpan):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> TraceSpan:
+        stack = self._tracer._stack()
+        self._span.depth = len(stack)
+        self._span.start = time.perf_counter() - self._tracer.epoch
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end = time.perf_counter() - self._tracer.epoch
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        if exc_type is not None:
+            self._span.args["error"] = exc_type.__name__
+        self._tracer._append(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-safe recorder of nested wall-clock spans."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[TraceSpan] = []
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _append(self, span: TraceSpan) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def span(self, name: str, cat: str = "phase", pid: str = "host", tid: str | None = None, **args) -> _SpanHandle:
+        """Open a span as a context manager; it records itself on exit."""
+        if tid is None:
+            tid = threading.current_thread().name
+        return _SpanHandle(self, TraceSpan(name=name, cat=cat, start=0.0, end=0.0, pid=pid, tid=tid, args=args))
+
+    @property
+    def spans(self) -> list[TraceSpan]:
+        """Completed spans, sorted by start time."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s.start, s.end, s.tid))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome trace-event list, format-compatible with the simulator's."""
+        events = []
+        for s in self.spans:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.cat,
+                    "ph": "X",
+                    "ts": s.start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": s.pid,
+                    "tid": s.tid,
+                    "args": dict(s.args),
+                }
+            )
+        return events
+
+    def timeline(self, limit: int | None = None) -> str:
+        """Indented text rendering of the recorded spans (for test reports)."""
+        spans = self.spans
+        shown = spans if limit is None else spans[-limit:]
+        lines = []
+        if limit is not None and len(spans) > limit:
+            lines.append(f"... {len(spans) - limit} earlier spans elided ...")
+        for s in shown:
+            lines.append(f"{s.start * 1e3:10.3f} ms  {'  ' * s.depth}{s.name} [{s.cat}] {s.duration * 1e3:.3f} ms")
+        return "\n".join(lines) if lines else "(no spans recorded)"

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro import observability as _obs
+
 from .dataset import MultiDeviceData
 from .launch import estimate_cost
 from .loader import AccessToken, Loader, Pattern, ReduceMode
@@ -114,7 +116,13 @@ class Container:
                     for piece in span.pieces():
                         compute(piece)
 
-            streams[rank].enqueue_kernel(f"{self.name}@{view}[{rank}]", kernel, cost)
+            label = f"{self.name}@{view}[{rank}]"
+            if _obs.OBS.active:
+                _obs.OBS.metrics.counter("container_launches", container=self.name).inc()
+                with _obs.span(label, cat="kernel", pid=f"device{rank}", tid=streams[rank].name):
+                    streams[rank].enqueue_kernel(label, kernel, cost)
+            else:
+                streams[rank].enqueue_kernel(label, kernel, cost)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Container({self.name}, {self.pattern.value})"

@@ -8,6 +8,7 @@ performance engineer would read off the kernel.
 
 from __future__ import annotations
 
+from repro import observability as _obs
 from repro.system import KernelCost
 
 from .dataset import MultiDeviceData
@@ -43,12 +44,17 @@ def estimate_cost(
             bytes_per_cell += density * factor
         if tok.access.writes:
             bytes_per_cell += density
-    return KernelCost(
+    cost = KernelCost(
         bytes_moved=ncells * bytes_per_cell,
         flops=ncells * flops_per_cell,
         indirection=getattr(index_data, "indirection", 1.0),
         launches=max(1, len(span.pieces())),
     )
+    if _obs.OBS.active:
+        m = _obs.OBS.metrics
+        m.counter("cost_estimates").inc()
+        m.histogram("launch_cost_bytes").observe(cost.bytes_moved)
+    return cost
 
 
 __all__ = ["estimate_cost", "Access", "Pattern"]

@@ -9,8 +9,14 @@ iteration at 192^3 but 10% at 512^3").
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from enum import Enum
+
+
+def _natural_key(name: str) -> tuple:
+    """Split digit runs out of a name so ``q2`` sorts before ``q10``."""
+    return tuple(int(part) if part.isdigit() else part for part in re.split(r"(\d+)", name))
 
 
 class SpanKind(Enum):
@@ -109,13 +115,17 @@ class Trace:
             return "(empty trace)"
         total = self.makespan or 1.0
         rows: dict[str, list[str]] = {}
+        row_device: dict[str, int] = {}
         for s in self.spans:
             row = rows.setdefault(s.queue, [" "] * width)
+            row_device[s.queue] = min(row_device.get(s.queue, s.device), s.device)
             a = min(width - 1, int(s.start / total * width))
             b = min(width, max(a + 1, int(s.end / total * width)))
             ch = {"kernel": "#", "copy": "=", "sync": "|"}[s.kind.value]
             for i in range(a, b):
                 row[i] = ch
-        lines = [f"{name:>12} |{''.join(cells)}|" for name, cells in sorted(rows.items())]
+        # natural (device, queue-index) order: q2 before q10, device 0 first
+        ordered = sorted(rows.items(), key=lambda kv: (row_device[kv[0]], _natural_key(kv[0])))
+        lines = [f"{name:>12} |{''.join(cells)}|" for name, cells in ordered]
         lines.append(f"{'':>12}  makespan = {total:.3e} s  (# kernel, = copy, | sync)")
         return "\n".join(lines)

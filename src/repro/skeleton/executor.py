@@ -41,10 +41,19 @@ def _piece_label(plan: Plan, piece) -> str:
 
 
 def check_trace_dependencies(result: ExecutionResult, trace: Trace) -> list[DependencyViolation]:
-    """All dependency orderings the trace violates (empty = valid schedule)."""
-    spans = {}
+    """All dependency orderings the trace violates (empty = valid schedule).
+
+    Span names may legitimately repeat when one plan's queues are traced
+    over several executions; occurrences of a repeated name are paired up
+    in start-time order (run *i* of the producer against run *i* of the
+    consumer).  Any other duplication is ambiguous — silently checking
+    one arbitrary occurrence could mask a real violation — so it raises.
+    """
+    spans: dict[str, list] = {}
     for s in trace.spans:
-        spans.setdefault(s.name, s)
+        spans.setdefault(s.name, []).append(s)
+    for occurrences in spans.values():
+        occurrences.sort(key=lambda s: (s.start, s.end))
     plan = result.plan
     violations = []
     for node in plan.order:
@@ -58,10 +67,21 @@ def check_trace_dependencies(result: ExecutionResult, trace: Trace) -> list[Depe
                 prod = _piece_label(plan, dep)
                 if prod not in spans:
                     continue
-                if spans[prod].end > spans[cons].start + 1e-15:
-                    violations.append(
-                        DependencyViolation(prod, cons, spans[prod].end, spans[cons].start)
+                prods, conss = spans[prod], spans[cons]
+                if len(prods) == len(conss):
+                    pairs = list(zip(prods, conss))
+                elif len(prods) == 1:
+                    # one producer run, consumer repeated: all must follow it
+                    pairs = [(prods[0], c) for c in conss]
+                else:
+                    raise ValueError(
+                        f"ambiguous duplicate spans: '{prod}' occurs {len(prods)}x but "
+                        f"'{cons}' occurs {len(conss)}x; cannot pair producer and consumer "
+                        f"occurrences — trace one execution at a time or use unique names"
                     )
+                for p, c in pairs:
+                    if p.end > c.start + 1e-15:
+                        violations.append(DependencyViolation(prod, cons, p.end, c.start))
     return violations
 
 

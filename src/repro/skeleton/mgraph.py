@@ -13,6 +13,7 @@ per-rank scopes.
 
 from __future__ import annotations
 
+from repro import observability as _obs
 from repro.sets import Container, Pattern
 from repro.system import Backend
 
@@ -59,4 +60,7 @@ def build_multi_gpu_graph(containers: list[Container], backend: Backend) -> DepG
     names = [c.name for c in containers]
     if len(set(names)) != len(names):
         raise ValueError(f"container names must be unique within a skeleton, got {names}")
-    return build_dependency_graph(expand_with_halo_nodes(containers, backend))
+    with _obs.span("skeleton.compile.halo_expansion", cat="compile"):
+        ops = expand_with_halo_nodes(containers, backend)
+    with _obs.span("skeleton.compile.depgraph", cat="compile", nodes=len(ops)):
+        return build_dependency_graph(ops)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observability as _obs
 from repro.sets import Container, DataView, ReduceMode
 from repro.sets.loader import Loader
 from repro.system import Backend, CommandQueue, Event
@@ -234,6 +235,10 @@ class Plan:
 
     # -- phase c: execution in task-list order --------------------------------
     def execute(self, eager: bool = True) -> ExecutionResult:
+        with _obs.span("plan.execute", cat="phase", eager=eager):
+            return self._execute(eager=eager)
+
+    def _execute(self, eager: bool) -> ExecutionResult:
         stats = ScheduleStats(num_streams=self.num_streams)
         queues: dict[tuple, CommandQueue] = {}
         events: dict[PieceKey, Event] = {}
@@ -274,7 +279,8 @@ class Plan:
                 kind, uid, idx = piece
                 if kind == "c":
                     label = f"{node.name}[{idx}]"
-                    _launch_compute_piece(node.container, q, idx, node.view, node.reduce_mode, label)
+                    with _obs.span(label, cat="kernel", pid=f"device{idx}", tid=q.name):
+                        _launch_compute_piece(node.container, q, idx, node.view, node.reduce_mode, label)
                     stats.num_kernels += 1
                     cost = node.container.cost_for(idx, node.view)
                     stats.kernel_bytes += cost.bytes_moved
@@ -282,13 +288,24 @@ class Plan:
                 else:
                     msg = self._halo_msgs[uid][idx]
                     # node uid disambiguates repeated halo updates of one field
-                    q.enqueue_copy(
+                    with _obs.span(
                         f"{msg.name}#{uid}",
-                        msg.fn,
-                        self.backend.device(msg.src_rank),
-                        self.backend.device(msg.dst_rank),
-                        msg.nbytes,
-                    )
+                        cat="copy",
+                        pid=f"device{msg.src_rank}",
+                        tid=q.name,
+                        nbytes=msg.nbytes,
+                    ):
+                        q.enqueue_copy(
+                            f"{msg.name}#{uid}",
+                            msg.fn,
+                            self.backend.device(msg.src_rank),
+                            self.backend.device(msg.dst_rank),
+                            msg.nbytes,
+                        )
+                    if _obs.OBS.active:
+                        m = _obs.OBS.metrics
+                        m.counter("halo_bytes_sent", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc(msg.nbytes)
+                        m.counter("halo_messages", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc()
                     stats.num_copies += 1
                     stats.copy_bytes += msg.nbytes
                 if piece in needs_event:

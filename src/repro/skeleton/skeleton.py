@@ -11,6 +11,7 @@ the performance model.
 
 from __future__ import annotations
 
+from repro import observability as _obs
 from repro.sets import Container
 from repro.sim import MachineSpec, Trace
 from repro.system import Backend
@@ -36,15 +37,23 @@ class Skeleton:
         self.containers = list(containers)
         self.occ = occ
         self.name = name
-        self.graph = build_multi_gpu_graph(self.containers, backend)
-        self.occ_report: OccReport = apply_occ(self.graph, occ)
-        self.redundant_edges_removed = self.graph.local_transitive_reduction()
-        self.plan = Plan(self.graph, backend, reuse_parent_streams=reuse_parent_streams)
+        with _obs.span(f"skeleton.compile:{name}", cat="compile", skeleton=name, occ=occ.value):
+            with _obs.span("skeleton.compile.multi_gpu_graph", cat="compile"):
+                self.graph = build_multi_gpu_graph(self.containers, backend)
+            with _obs.span("skeleton.compile.occ", cat="compile"):
+                self.occ_report: OccReport = apply_occ(self.graph, occ)
+            with _obs.span("skeleton.compile.transitive_reduction", cat="compile"):
+                self.redundant_edges_removed = self.graph.local_transitive_reduction()
+            with _obs.span("skeleton.compile.plan", cat="compile"):
+                self.plan = Plan(self.graph, backend, reuse_parent_streams=reuse_parent_streams)
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("skeletons_compiled", occ=occ.value).inc()
         self.last_result: ExecutionResult | None = None
 
     def run(self) -> ExecutionResult:
         """Execute once on the backend's devices; results land in the fields."""
-        self.last_result = self.plan.execute(eager=True)
+        with _obs.span(f"skeleton.run:{self.name}", cat="phase", skeleton=self.name):
+            self.last_result = self.plan.execute(eager=True)
         return self.last_result
 
     def record(self) -> ExecutionResult:

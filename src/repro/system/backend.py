@@ -8,6 +8,7 @@ code.  :class:`Backend` is that first parameter.
 
 from __future__ import annotations
 
+from repro import observability as _obs
 from repro.sim.machine import MachineSpec, cpu_host, dgx_a100
 
 from .device import Device, DeviceSet, DeviceType
@@ -54,6 +55,8 @@ class Backend:
         return self.devices[rank]
 
     def new_queue(self, rank: int, name: str = "", eager: bool = True) -> CommandQueue:
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("queues_created", device=self.devices[rank].metric_label).inc()
         return CommandQueue(self.devices[rank], name=name, eager=eager)
 
     def allocate(self, rank: int, shape, dtype, options: MemOptions | None = None, virtual: bool = False):

@@ -49,6 +49,11 @@ class Device:
     def is_host(self) -> bool:
         return self.kind is DeviceType.CPU
 
+    @property
+    def metric_label(self) -> str:
+        """Stable label for this device in metric series (e.g. ``gpu0``)."""
+        return f"{self.kind.value}{self.index}"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Device({self.kind.value}:{self.index})"
 

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import observability as _obs
+
 from .device import Device
 
 
@@ -137,6 +139,13 @@ class DeviceAllocator:
                 )
         self._used[device.uid] = self.used_bytes(device) + buf.allocated_bytes
         self._live.setdefault(device.uid, []).append(buf)
+        if _obs.OBS.active:
+            m = _obs.OBS.metrics
+            dev = device.metric_label
+            m.counter("allocations", device=dev).inc()
+            m.counter("allocations_bytes", device=dev).inc(buf.allocated_bytes)
+            m.gauge("memory_used_bytes", device=dev).set(self._used[device.uid])
+            m.histogram("allocation_size_bytes").observe(buf.allocated_bytes)
         return buf
 
     def free(self, buf: DeviceBuffer) -> None:
@@ -145,3 +154,8 @@ class DeviceAllocator:
             raise AllocationError("double free or foreign buffer")
         live.remove(buf)
         self._used[buf.device.uid] -= buf.allocated_bytes
+        if _obs.OBS.active:
+            dev = buf.device.metric_label
+            m = _obs.OBS.metrics
+            m.counter("frees", device=dev).inc()
+            m.gauge("memory_used_bytes", device=dev).set(self._used[buf.device.uid])

@@ -21,6 +21,8 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import observability as _obs
+
 from .device import Device
 
 _event_ids = itertools.count()
@@ -163,6 +165,12 @@ class CommandQueue:
     def enqueue_kernel(self, name: str, fn: Callable[[], None], cost: KernelCost) -> KernelCommand:
         cmd = KernelCommand(name, fn, cost)
         self.commands.append(cmd)
+        if _obs.OBS.active:
+            m = _obs.OBS.metrics
+            dev = self.device.metric_label
+            m.counter("kernel_launches", device=dev).inc()
+            m.counter("kernel_bytes_modeled", device=dev).inc(cost.bytes_moved)
+            m.gauge("queue_depth", queue=self.name).set(len(self.commands))
         if self.eager:
             fn()
         return cmd
@@ -178,6 +186,11 @@ class CommandQueue:
     ) -> CopyCommand:
         cmd = CopyCommand(name, fn, src, dst, nbytes, pinned=pinned)
         self.commands.append(cmd)
+        if _obs.OBS.active:
+            m = _obs.OBS.metrics
+            m.counter("copies", device=self.device.metric_label).inc()
+            m.counter("copy_bytes", src=src.metric_label, dst=dst.metric_label).inc(nbytes)
+            m.gauge("queue_depth", queue=self.name).set(len(self.commands))
         if self.eager:
             fn()
         return cmd
@@ -189,11 +202,15 @@ class CommandQueue:
         self.commands.append(cmd)
         event.recorded_in = self
         event.record_position = len(self.commands) - 1
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("events_recorded", queue=self.name).inc()
         return cmd
 
     def wait_event(self, event: Event) -> WaitEventCommand:
         cmd = WaitEventCommand(event)
         self.commands.append(cmd)
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("sync_waits", queue=self.name).inc()
         return cmd
 
     def __len__(self) -> int:

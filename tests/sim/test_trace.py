@@ -1,0 +1,77 @@
+"""Trace analytics: copy_exposed_time edge cases and gantt row ordering."""
+
+import pytest
+
+from repro.sim import Span, SpanKind, Trace
+
+
+def _span(kind, start, end, name="s", queue="q0", device=0):
+    resource = f"dev{device}" if kind is SpanKind.KERNEL else "link"
+    return Span(kind=kind, name=name, queue=queue, device=device, resource=resource, start=start, end=end)
+
+
+K, C = SpanKind.KERNEL, SpanKind.COPY
+
+
+class TestCopyExposedTime:
+    def test_empty_trace(self):
+        assert Trace([]).copy_exposed_time() == 0.0
+        assert Trace([]).makespan == 0.0
+
+    def test_zero_duration_spans_are_ignored(self):
+        t = Trace([_span(C, 1.0, 1.0), _span(K, 0.0, 2.0)])
+        assert t.copy_exposed_time() == 0.0
+        # a zero-duration copy alone exposes nothing either
+        assert Trace([_span(C, 1.0, 1.0)]).copy_exposed_time() == 0.0
+
+    def test_copy_fully_inside_kernel_is_hidden(self):
+        t = Trace([_span(K, 0.0, 4.0), _span(C, 1.0, 3.0)])
+        assert t.copy_exposed_time() == 0.0
+
+    def test_copy_alone_is_fully_exposed(self):
+        t = Trace([_span(C, 2.0, 5.0)])
+        assert t.copy_exposed_time() == pytest.approx(3.0)
+
+    def test_back_to_back_copy_then_kernel_touching_at_endpoint(self):
+        # copy [0,1] and kernel [1,2] share only the instant t=1:
+        # the copy is fully exposed, and no double counting at the seam
+        t = Trace([_span(C, 0.0, 1.0), _span(K, 1.0, 2.0)])
+        assert t.copy_exposed_time() == pytest.approx(1.0)
+
+    def test_kernel_then_copy_touching_at_endpoint(self):
+        t = Trace([_span(K, 0.0, 1.0), _span(C, 1.0, 2.0)])
+        assert t.copy_exposed_time() == pytest.approx(1.0)
+
+    def test_partial_overlap_exposes_only_the_uncovered_part(self):
+        t = Trace([_span(C, 0.0, 2.0), _span(K, 1.0, 3.0)])
+        assert t.copy_exposed_time() == pytest.approx(1.0)
+
+    def test_two_abutting_copies_count_once(self):
+        t = Trace([_span(C, 0.0, 1.0), _span(C, 1.0, 2.0)])
+        assert t.copy_exposed_time() == pytest.approx(2.0)
+
+
+class TestGanttOrdering:
+    def test_rows_sort_naturally_not_lexicographically(self):
+        spans = [
+            _span(K, 0.0, 1.0, queue="q10", device=0),
+            _span(K, 0.0, 1.0, queue="q2", device=0),
+            _span(K, 0.0, 1.0, queue="q1", device=0),
+        ]
+        out = Trace(spans).gantt(width=20)
+        rows = [line.split("|")[0].strip() for line in out.splitlines()[:-1]]
+        assert rows == ["q1", "q2", "q10"]
+
+    def test_rows_group_by_device_first(self):
+        spans = [
+            _span(K, 0.0, 1.0, queue="s0[1]", device=1),
+            _span(K, 0.0, 1.0, queue="s0[0]", device=0),
+            _span(K, 0.0, 1.0, queue="s10[0]", device=0),
+            _span(K, 0.0, 1.0, queue="s2[0]", device=0),
+        ]
+        out = Trace(spans).gantt(width=20)
+        rows = [line.split("|")[0].strip() for line in out.splitlines()[:-1]]
+        assert rows == ["s0[0]", "s2[0]", "s10[0]", "s0[1]"]
+
+    def test_empty_gantt(self):
+        assert Trace([]).gantt() == "(empty trace)"

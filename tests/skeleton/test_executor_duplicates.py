@@ -1,0 +1,101 @@
+"""check_trace_dependencies with duplicate span names (repeated executions).
+
+The old implementation kept only the *first* span per name, so a second
+execution appended to the same trace could violate a dependency without
+the checker noticing.  Occurrences are now paired up run-by-run, and
+un-pairable duplication raises instead of silently checking one pick.
+"""
+
+import pytest
+
+from repro.core import ops
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.sim import Span, SpanKind, Trace
+from repro.skeleton import Skeleton
+from repro.skeleton.executor import check_trace_dependencies
+from repro.system import Backend
+
+
+@pytest.fixture
+def recorded():
+    backend = Backend.sim_gpus(1)
+    grid = DenseGrid(backend, (8, 4, 4), stencils=[STENCIL_7PT], name="dup")
+    x, y = grid.new_field("x"), grid.new_field("y")
+
+    def loading(loader):
+        xp = loader.read(x, stencil=True)
+        yp = loader.write(y)
+
+        def compute(span):
+            acc = -6.0 * xp.view(span)
+            for off in STENCIL_7PT:
+                if off != (0, 0, 0):
+                    acc = acc + xp.neighbour(span, off)
+            yp.view(span)[...] = acc
+
+        return compute
+
+    laplace = grid.new_container("laplace", loading)
+    sk = Skeleton(backend, [ops.axpy(grid, 2.0, y, x), laplace], name="dup")
+    return sk.record()
+
+
+def _kernel(name, start, end):
+    return Span(
+        kind=SpanKind.KERNEL, name=name, queue="s0[0]", device=0, resource="dev0", start=start, end=end
+    )
+
+
+def test_repeated_execution_pairs_occurrences(recorded):
+    # two back-to-back valid runs: i-th producer matches i-th consumer
+    trace = Trace(
+        [
+            _kernel("axpy[0]", 0.0, 1.0),
+            _kernel("laplace[0]", 1.0, 2.0),
+            _kernel("axpy[0]", 3.0, 4.0),
+            _kernel("laplace[0]", 4.0, 5.0),
+        ]
+    )
+    assert check_trace_dependencies(recorded, trace) == []
+
+
+def test_violation_in_second_run_is_not_masked(recorded):
+    # first run is valid; in the second, laplace starts before axpy ends.
+    # keeping only the first span per name would have hidden this.
+    trace = Trace(
+        [
+            _kernel("axpy[0]", 0.0, 1.0),
+            _kernel("laplace[0]", 1.0, 2.0),
+            _kernel("axpy[0]", 3.0, 4.0),
+            _kernel("laplace[0]", 3.5, 4.5),
+        ]
+    )
+    violations = check_trace_dependencies(recorded, trace)
+    assert len(violations) == 1
+    assert violations[0].producer == "axpy[0]"
+    assert violations[0].consumer_start == pytest.approx(3.5)
+
+
+def test_single_producer_many_consumers_all_checked(recorded):
+    # one producer span, repeated consumer: every occurrence must follow it
+    trace = Trace(
+        [
+            _kernel("axpy[0]", 0.0, 2.0),
+            _kernel("laplace[0]", 1.0, 3.0),
+            _kernel("laplace[0]", 4.0, 5.0),
+        ]
+    )
+    violations = check_trace_dependencies(recorded, trace)
+    assert len(violations) == 1
+
+
+def test_unpairable_duplicates_raise(recorded):
+    trace = Trace(
+        [
+            _kernel("axpy[0]", 0.0, 1.0),
+            _kernel("axpy[0]", 2.0, 3.0),
+            _kernel("laplace[0]", 3.0, 4.0),
+        ]
+    )
+    with pytest.raises(ValueError, match="ambiguous duplicate spans"):
+        check_trace_dependencies(recorded, trace)

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.solvers.lbm",
     "repro.baselines",
     "repro.bench",
+    "repro.observability",
 ]
 
 

@@ -49,3 +49,26 @@ def test_main_requires_subcommand():
 def test_reproduce_runs_one_bench():
     proc = run_cli("reproduce", "fig1")
     assert proc.returncode == 0
+
+
+def test_trace_writes_chrome_trace(tmp_path):
+    out = tmp_path / "t.json"
+    proc = run_cli("trace", "fig1", "-o", str(out))
+    assert proc.returncode == 0, proc.stderr
+    assert "halo bytes sent" in proc.stdout
+
+    import json
+
+    doc = json.loads(out.read_text())
+    cats = {e["cat"] for e in doc["traceEvents"]}
+    assert {"compile", "kernel", "copy"} <= cats
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert any(p.startswith("sim:") for p in pids)
+    assert sum(s["value"] for s in doc["metrics"]["halo_bytes_sent"]) > 0
+    assert sum(s["value"] for s in doc["metrics"]["kernel_launches"]) > 0
+
+
+def test_trace_unknown_workload_rejected(tmp_path):
+    proc = run_cli("trace", "fig99", "-o", str(tmp_path / "x.json"))
+    assert proc.returncode == 2
+    assert "no traceable workload" in proc.stderr
