@@ -8,6 +8,10 @@
     python -m repro trace fig1 -o trace.json   # run a miniature of an
         # experiment with the observability layer enabled and export a
         # Chrome/Perfetto trace (real + simulated timelines + metrics)
+    python -m repro faults cg --profile transient+loss -o recovery.json
+        # run a fault-matrix miniature under a seeded FaultPlan with full
+        # recovery armed, verify the result against a fault-free run, and
+        # export the recovery trace; exits non-zero on mismatch
 """
 
 from __future__ import annotations
@@ -96,6 +100,48 @@ def cmd_trace(name: str, out: str, devices: int) -> int:
     return 0
 
 
+def cmd_faults(name: str, profile: str, out: str, devices: int, seed: int) -> int:
+    from repro import observability as obs
+    from repro.bench.faulted import run_faulted
+
+    if devices < 1:
+        print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
+        return 2
+    try:
+        obs.enable()
+        report = run_faulted(name, profile=profile, devices=devices, seed=seed)
+        obs.disable()
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    path = obs.export_chrome_trace(
+        out,
+        meta={
+            "experiment": f"faults:{name}",
+            "profile": profile,
+            "seed": seed,
+            "devices": devices,
+            "faults": report.faults,
+        },
+    )
+    m = obs.metrics()
+    print(report.summary())
+    print("\nrecovery counters:")
+    for counter in (
+        "faults_injected",
+        "retries",
+        "checkpoints",
+        "checkpoint_restores",
+        "rollbacks",
+        "devices_lost",
+        "divergence_detected",
+    ):
+        print(f"  {counter:<20} {m.total(counter):g}")
+    print(f"\n{m.to_markdown()}")
+    print(f"\nwrote {path} — open in https://ui.perfetto.dev (resilience.* spans)")
+    return 0 if report.ok else 1
+
+
 def cmd_info() -> int:
     import numpy
 
@@ -127,6 +173,17 @@ def main(argv: list[str] | None = None) -> int:
     tr.add_argument("name", help="experiment key (e.g. fig1); see 'list'")
     tr.add_argument("-o", "--output", default="trace.json", help="Chrome trace JSON output path")
     tr.add_argument("--devices", type=int, default=2, help="simulated device count (default 2)")
+    fl = sub.add_parser("faults", help="run a fault-matrix miniature with recovery armed")
+    fl.add_argument("name", help="fault-matrix workload: cg or lbm")
+    fl.add_argument(
+        "--profile",
+        default="transient",
+        choices=["transient", "transient+loss", "corruption"],
+        help="seeded fault profile (default transient)",
+    )
+    fl.add_argument("-o", "--output", default="recovery.json", help="Chrome trace JSON output path")
+    fl.add_argument("--devices", type=int, default=3, help="simulated device count (default 3)")
+    fl.add_argument("--seed", type=int, default=1234, help="FaultPlan seed (default 1234)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -136,6 +193,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_collect()
     if args.command == "trace":
         return cmd_trace(args.name, args.output, args.devices)
+    if args.command == "faults":
+        return cmd_faults(args.name, args.profile, args.output, args.devices, args.seed)
     return cmd_info()
 
 

@@ -1,0 +1,255 @@
+"""Fault-matrix miniatures: the traceable workloads under seeded faults.
+
+Companion to :mod:`repro.bench.traceable`: the same tiny, real-execution
+Poisson-CG and LBM pipelines, but driven through the resilience layer
+under a seeded :class:`~repro.resilience.FaultPlan`.  Each run produces
+a *fault-free* reference first, then replays the workload with faults
+armed and full recovery (retry, rollback-and-replay, device-loss
+degradation), and reports whether the recovered result matches the
+reference — the end-to-end guarantee the fault model promises: faults
+either recover or raise typed errors, never silent corruption.
+
+Used by ``python -m repro faults`` and the CI fault-matrix job.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import resilience as res
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.sim import pcie_a100
+from repro.skeleton import check_trace_dependencies, simulate_result
+from repro.system import Backend
+
+
+class _PoissonCGApp:
+    """Poisson-CG miniature implementing the resilient-driver protocol.
+
+    Checkpoints carry only the iterate ``x`` (see
+    ``ConjugateGradient.checkpoint_fields``); any restore restarts the
+    Krylov iteration from the restored ``x`` via ``begin()``.
+    """
+
+    def __init__(self, backend: Backend, shape=(16, 16, 16), tolerance: float = 1e-8):
+        from repro.solvers.cg import ConjugateGradient
+        from repro.solvers.poisson import make_neg_laplacian
+
+        grid = DenseGrid(backend, shape, stencils=[STENCIL_7PT], name="rescg")
+        self.b = grid.new_field("b")
+        self.x = grid.new_field("x")
+        # deterministic, spectrally rich forcing (an off-centre bump — NOT a
+        # Laplacian eigenvector, which would make CG converge in one step)
+        self.b.init(
+            lambda i, j, k: np.exp(
+                -0.05 * ((i - 4.0) ** 2 + (j - 7.0) ** 2 + (k - 10.0) ** 2)
+            )
+            + 0.01 * (i - j + 2.0 * k)
+        )
+        self.cg = ConjugateGradient(grid, make_neg_laplacian, self.b, self.x, name="rescg")
+        self.tolerance = tolerance
+        self._begun = False
+
+    @property
+    def skeletons(self):
+        return [self.cg.sk_init, self.cg.sk_a, self.cg.sk_b]
+
+    def fields(self):
+        return self.cg.checkpoint_fields()
+
+    def scalars(self) -> dict:
+        return {}
+
+    def on_restore(self, scalars: dict) -> None:
+        self._begun = False
+
+    def step(self, i: int) -> None:
+        if not self._begun:
+            self.cg.begin(self.tolerance)
+            self._begun = True
+        self.cg.iterate()
+
+    def result_array(self) -> np.ndarray:
+        return self.x.to_numpy()
+
+
+class _CavityApp:
+    """Lid-driven-cavity LBM miniature under the resilient-driver protocol."""
+
+    def __init__(self, backend: Backend, shape=(12, 12, 12)):
+        from repro.solvers.lbm import LidDrivenCavity
+
+        self.cavity = LidDrivenCavity(backend, shape)
+
+    @property
+    def skeletons(self):
+        return self.cavity.skeletons
+
+    def fields(self):
+        return self.cavity.checkpoint_fields()
+
+    def scalars(self) -> dict:
+        return self.cavity.checkpoint_scalars()
+
+    def on_restore(self, scalars: dict) -> None:
+        self.cavity.restore_scalars(scalars)
+
+    def step(self, i: int) -> None:
+        self.cavity.step(1)
+
+    def result_array(self) -> np.ndarray:
+        return self.cavity.current.to_numpy()
+
+
+@dataclass(frozen=True)
+class FaultWorkload:
+    name: str
+    description: str
+    factory: Callable[[Backend], object]
+    steps: int
+    #: absolute/relative tolerance for faulted-vs-fault-free comparison
+    tol: float
+    #: command count on the highest rank at which the loss profile fires
+    loss_after: int
+
+
+WORKLOADS = {
+    "cg": FaultWorkload(
+        "cg",
+        "Poisson conjugate-gradient miniature (restart-from-iterate recovery)",
+        _PoissonCGApp,
+        steps=80,
+        tol=1e-5,
+        loss_after=300,
+    ),
+    "lbm": FaultWorkload(
+        "lbm",
+        "lid-driven-cavity D3Q19 LBM miniature (full-state checkpoints)",
+        _CavityApp,
+        steps=16,
+        tol=1e-8,
+        loss_after=350,
+    ),
+}
+
+PROFILES = ("transient", "transient+loss", "corruption")
+
+
+def make_plan(workload: FaultWorkload, profile: str, seed: int, devices: int) -> res.FaultPlan:
+    """The seeded FaultPlan of one named profile for one workload."""
+    if profile == "transient":
+        return res.FaultPlan(seed, launch=0.05, copy=0.05)
+    if profile == "transient+loss":
+        if devices < 2:
+            raise ValueError("the transient+loss profile needs at least 2 devices")
+        return res.FaultPlan(
+            seed, launch=0.05, copy=0.05, device_loss={devices - 1: workload.loss_after}
+        )
+    if profile == "corruption":
+        # per-launch, and every step is many launches: 0.01 per launch is
+        # already a brutal silent-corruption rate (several events per run)
+        return res.FaultPlan(seed, corrupt=0.01)
+    raise KeyError(f"unknown fault profile '{profile}'; supported: {', '.join(PROFILES)}")
+
+
+@dataclass
+class FaultedRunReport:
+    """Outcome of one faulted run, compared against its fault-free twin."""
+
+    workload: str
+    profile: str
+    devices: int
+    surviving_devices: int
+    seed: int
+    steps: int
+    match: bool
+    max_abs_error: float
+    violations: int
+    rollbacks: int
+    devices_lost: int
+    faults: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.match and self.violations == 0
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.workload} under '{self.profile}' (seed {self.seed}): "
+            f"{'RECOVERED' if self.ok else 'FAILED'}",
+            f"  devices:            {self.devices} -> {self.surviving_devices} surviving",
+            f"  injected faults:    {self.faults.get('injected', {})}",
+            f"  rollbacks:          {self.rollbacks}; devices lost: {self.devices_lost}",
+            f"  result vs fault-free: max |err| = {self.max_abs_error:.3e} "
+            f"({'match' if self.match else 'MISMATCH'})",
+            f"  dependency violations on recovered schedule: {self.violations}",
+        ]
+        return "\n".join(lines)
+
+
+def _backend(devices: int) -> Backend:
+    return Backend.sim_gpus(devices, machine=pcie_a100(devices))
+
+
+def fault_free_result(name: str, devices: int = 3) -> np.ndarray:
+    """Reference result of one workload with no faults armed."""
+    wl = WORKLOADS[name]
+    app = wl.factory(_backend(devices))
+    for i in range(wl.steps):
+        app.step(i)
+    return app.result_array()
+
+
+def run_faulted(
+    name: str,
+    profile: str = "transient",
+    devices: int = 3,
+    seed: int = 1234,
+    policy: res.RecoveryPolicy | None = None,
+) -> FaultedRunReport:
+    """One full fault-matrix run: reference, faulted replay, comparison."""
+    if name not in WORKLOADS:
+        supported = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"no fault-matrix workload named '{name}'; supported: {supported}")
+    wl = WORKLOADS[name]
+    reference = fault_free_result(name, devices)
+
+    plan = make_plan(wl, profile, seed, devices)
+    if policy is None:
+        # corruption is caught one (possibly two) steps after injection, and
+        # each rollback replays the whole interval under fresh draws — short
+        # intervals are what lets the checkpoint front advance through a
+        # high-SDC run instead of replaying one long interval forever
+        policy = (
+            res.RecoveryPolicy(checkpoint_interval=2, max_rollbacks=64)
+            if profile == "corruption"
+            else res.RecoveryPolicy(checkpoint_interval=4)
+        )
+    driver = res.ResilientDriver(wl.factory, _backend(devices), wl.steps, policy=policy, plan=plan)
+    with res.session(plan, policy):
+        app = driver.run()
+
+    # the recovered schedule must still prove its own synchronisation
+    violations = 0
+    for sk in app.skeletons:
+        recorded = sk.record()
+        violations += len(check_trace_dependencies(recorded, simulate_result(recorded)))
+
+    got = app.result_array()
+    return FaultedRunReport(
+        workload=name,
+        profile=profile,
+        devices=devices,
+        surviving_devices=driver.backend.num_devices,
+        seed=seed,
+        steps=wl.steps,
+        match=bool(np.allclose(got, reference, rtol=wl.tol, atol=wl.tol)),
+        max_abs_error=float(np.max(np.abs(got - reference))),
+        violations=violations,
+        rollbacks=driver.rollbacks,
+        devices_lost=driver.devices_lost,
+        faults=plan.describe(),
+    )

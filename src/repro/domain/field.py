@@ -87,6 +87,23 @@ class Field(MultiDeviceData, abc.ABC):
         if self.virtual:
             raise RuntimeError(f"field '{self.name}' is virtual (planning-only); it has no payload")
 
+    def load_numpy(self, array: np.ndarray) -> None:
+        """Set owned cells from a global ``(cardinality, *grid.shape)`` array.
+
+        The exact inverse of :meth:`to_numpy` on owned cells, independent
+        of the grid's partitioning — which is what lets a checkpoint
+        taken on ``n`` devices restore onto the surviving ``n-1`` after a
+        device loss (the array is re-scattered across the new slabs and
+        halos are refreshed).
+        """
+        self._require_storage()
+        arr = np.asarray(array, dtype=self.dtype)
+        expected = (self.cardinality, *self.grid.shape)
+        if arr.shape != expected:
+            raise ValueError(f"field '{self.name}' expects shape {expected}, got {arr.shape}")
+        for c in range(self.cardinality):
+            self.init(lambda *coords, _comp=arr[c]: _comp[tuple(coords)], comp=c)
+
     def sync_halo_now(self) -> None:
         """Eagerly run a full halo update (init-time convenience).
 

@@ -1,0 +1,170 @@
+"""Resilience: seeded fault injection, retry, checkpoint/restore, degradation.
+
+The paper's Skeleton argues that the generated stream/event structure
+alone enforces correctness; this layer extends that guarantee to a
+*faulty* runtime.  Three pieces:
+
+* :mod:`repro.resilience.faults`     — :class:`FaultPlan`: seeded,
+  site-keyed injection of transient launch/copy failures, allocation
+  errors, NaN/Inf field corruption and permanent device loss;
+* :mod:`repro.resilience.retry`      — exponential backoff + seeded
+  jitter for transient faults at the command-queue layer;
+* :mod:`repro.resilience.checkpoint` / :mod:`repro.resilience.runner` —
+  checkpoint/restore of Field state with rollback-and-replay, and
+  graceful degradation onto surviving devices (re-partition, migrate,
+  recompile, resume).
+
+**Off by default.**  Exactly like ``repro.observability``, every
+injection/guardrail site is guarded by a single attribute read on the
+slotted ``RES`` singleton, so the disabled runtime pays near-zero
+overhead.  Enable explicitly::
+
+    from repro import resilience as res
+
+    plan = res.FaultPlan(seed=7, launch=0.05, copy=0.05, device_loss={2: 40})
+    with res.session(plan, res.RecoveryPolicy(checkpoint_interval=4)):
+        driver = res.ResilientDriver(build_app, backend, steps=100, plan=plan)
+        app = driver.run()
+
+or from the shell: ``python -m repro faults cg --profile transient+loss``.
+
+Import discipline: this package's modules must not import other
+``repro`` packages at module import time (``repro.observability``
+excepted — it is itself import-free), so ``repro.system`` and
+``repro.sets`` can hook into it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro import observability as _obs
+
+from .checkpoint import Checkpoint
+from .errors import (
+    CopyFault,
+    CorruptionDetected,
+    DeviceLost,
+    FaultExhausted,
+    LaunchFault,
+    ResilienceError,
+    SolverDiverged,
+    TransientFault,
+)
+from .faults import FaultPlan, unit_draw
+from .retry import RetryPolicy, run_with_retry
+from .runner import RecoveryPolicy, ResilientDriver, degraded_backend
+
+
+class _ResState:
+    """Process-global resilience switchboard (slotted for fast reads)."""
+
+    __slots__ = ("active", "plan", "policy")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.plan: FaultPlan | None = None
+        self.policy: RecoveryPolicy | None = None
+
+
+RES = _ResState()
+"""The singleton hot-path guard: sites check ``RES.active`` before injecting."""
+
+
+def enabled() -> bool:
+    """Whether fault injection/guardrails are live (default: False)."""
+    return RES.active
+
+
+def enable(plan: FaultPlan | None = None, policy: RecoveryPolicy | None = None) -> None:
+    """Arm the injection sites with a plan and a recovery policy."""
+    RES.plan = plan
+    RES.policy = policy or RecoveryPolicy()
+    RES.active = True
+
+
+def disable() -> None:
+    """Disarm the sites; the plan/policy stay readable."""
+    RES.active = False
+
+
+def reset() -> None:
+    """Disarm and drop all state (used by the test fixture)."""
+    RES.active = False
+    RES.plan = None
+    RES.policy = None
+
+
+@contextmanager
+def session(plan: FaultPlan | None = None, policy: RecoveryPolicy | None = None):
+    """Scoped enable/restore, safe to nest around a resilient run."""
+    prev = (RES.active, RES.plan, RES.policy)
+    enable(plan, policy)
+    try:
+        yield RES
+    finally:
+        RES.active, RES.plan, RES.policy = prev
+
+
+_FAULT_CLS = {"launch": LaunchFault, "copy": CopyFault}
+
+
+def execute_command(kind: str, site: str, ranks: tuple[int, ...], fn) -> None:
+    """Run one queue command under the armed plan: loss check, inject, retry.
+
+    Called from ``CommandQueue`` behind the ``RES.active`` guard.  The
+    involved device ranks are loss-checked first (a command touching a
+    lost device raises :class:`DeviceLost`, which is never retried);
+    transient faults are then injected and retried per the policy.
+    """
+    plan = RES.plan
+    if plan is not None:
+        for rank in ranks:
+            plan.touch_device(rank)
+    policy = RES.policy.retry if RES.policy is not None else RetryPolicy()
+    run_with_retry(fn, kind, site, policy, plan, _FAULT_CLS.get(kind, TransientFault))
+
+
+def should_fail_allocation(rank: int, site: str) -> bool:
+    """Loss-check ``rank`` and decide whether this allocation fails.
+
+    Called from ``DeviceAllocator`` behind the guard; the caller raises
+    its own ``AllocationError`` so the memory layer keeps its exception
+    type.
+    """
+    plan = RES.plan
+    if plan is None:
+        return False
+    plan.touch_device(rank)
+    hit = plan.decide("alloc", site)
+    if hit and _obs.OBS.active:
+        _obs.OBS.metrics.counter("faults_injected", kind="alloc").inc()
+    return hit
+
+
+__all__ = [
+    "RES",
+    "Checkpoint",
+    "CopyFault",
+    "CorruptionDetected",
+    "DeviceLost",
+    "FaultExhausted",
+    "FaultPlan",
+    "LaunchFault",
+    "RecoveryPolicy",
+    "ResilienceError",
+    "ResilientDriver",
+    "RetryPolicy",
+    "SolverDiverged",
+    "TransientFault",
+    "degraded_backend",
+    "disable",
+    "enable",
+    "enabled",
+    "execute_command",
+    "reset",
+    "run_with_retry",
+    "session",
+    "should_fail_allocation",
+    "unit_draw",
+]

@@ -1,0 +1,70 @@
+"""Checkpoint/restore of Field state for rollback-and-replay recovery.
+
+A checkpoint snapshots each field as its *global* array (via
+``Field.to_numpy``) plus an optional dict of host-side scalars.  Storing
+global arrays — rather than per-device buffers — is what makes one
+checkpoint serve both recovery modes:
+
+* **rollback**: restore into the same fields after a failed or
+  corrupted step, then replay;
+* **migration**: restore into freshly-built fields on a *different*
+  (degraded) backend, because ``Field.load_numpy`` re-scatters the
+  global array across whatever slab decomposition the field now has.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro import observability as _obs
+
+
+class Checkpoint:
+    """An immutable snapshot of field state at one step index."""
+
+    def __init__(self, step: int, arrays: list[tuple[str, np.ndarray]], scalars: dict):
+        self.step = step
+        self.arrays = arrays
+        self.scalars = scalars
+
+    @classmethod
+    def capture(cls, fields, scalars: dict | None = None, step: int = 0) -> "Checkpoint":
+        """Snapshot ``fields`` (and deep-copied ``scalars``) at ``step``."""
+        with _obs.span("resilience.checkpoint", cat="resilience", step=step):
+            arrays = [(f.name, f.to_numpy().copy()) for f in fields]
+        ck = cls(step, arrays, copy.deepcopy(scalars or {}))
+        if _obs.OBS.active:
+            m = _obs.OBS.metrics
+            m.counter("checkpoints").inc()
+            m.counter("checkpoint_bytes").inc(ck.nbytes)
+        return ck
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for _, a in self.arrays)
+
+    def restore(self, fields) -> dict:
+        """Write the snapshot back into ``fields``; return the scalars.
+
+        Fields are matched positionally and must carry the same names as
+        at capture time; the target fields may live on a different
+        backend (migration after device loss).
+        """
+        if len(fields) != len(self.arrays):
+            raise ValueError(
+                f"checkpoint holds {len(self.arrays)} fields but {len(fields)} were passed"
+            )
+        with _obs.span("resilience.restore", cat="resilience", step=self.step):
+            for field, (name, arr) in zip(fields, self.arrays):
+                if field.name != name:
+                    raise ValueError(f"checkpoint field '{name}' does not match target '{field.name}'")
+                field.load_numpy(arr)
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("checkpoint_restores").inc()
+        return copy.deepcopy(self.scalars)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(n for n, _ in self.arrays)
+        return f"Checkpoint(step={self.step}, fields=[{names}], {self.nbytes} B)"

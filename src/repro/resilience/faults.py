@@ -1,0 +1,182 @@
+"""Seeded, site-keyed fault injection plans.
+
+A :class:`FaultPlan` decides — reproducibly — which commands fail.  The
+decision for a draw is a pure function of ``(seed, kind, site, n)``
+where ``site`` is a *stable* string key of the injection site (built
+from container/queue names and device *ranks*, never ``Device.uid``)
+and ``n`` is that site's private draw counter.  Two consequences:
+
+* the same seed injects the same faults on every run, regardless of how
+  many devices, events or buffers were created beforehand (global id
+  counters never enter the hash);
+* a replayed step re-draws with advanced counters, so a rolled-back
+  fault is not re-injected deterministically forever — exactly what
+  rollback-and-replay recovery needs to make progress.
+
+Permanent device loss is scheduled, not drawn: ``device_loss={rank: n}``
+loses ``rank`` at its ``n``-th resilience-checked command.  Once lost, a
+device fails every subsequent command with :class:`DeviceLost` until the
+recovery machinery acknowledges the loss and degrades onto the
+survivors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+
+from .errors import DeviceLost
+
+#: fault kinds a plan can inject by probability
+KINDS = ("launch", "copy", "alloc", "corrupt")
+
+_DENOM = float(1 << 53)
+
+
+def unit_draw(seed: int, *parts) -> float:
+    """Deterministic uniform [0, 1) from the seed and any hashable parts."""
+    payload = "\x1f".join(str(p) for p in (seed, *parts)).encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return (int.from_bytes(digest, "big") >> 11) / _DENOM
+
+
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Explicit seed; two plans with equal seeds and rates make
+        identical decisions at identical sites.
+    launch, copy, alloc, corrupt:
+        Per-draw injection probability of each fault kind.
+    device_loss:
+        ``{rank: n}`` — lose ``rank`` permanently at its ``n``-th
+        (1-based) resilience-checked command.
+    max_injections:
+        Optional ``{kind: cap}`` limiting the total number of injected
+        faults per kind (useful for "exactly k transient faults" tests).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        launch: float = 0.0,
+        copy: float = 0.0,
+        alloc: float = 0.0,
+        corrupt: float = 0.0,
+        device_loss: dict[int, int] | None = None,
+        max_injections: dict[str, int] | None = None,
+    ):
+        self.seed = int(seed)
+        self.rates = {"launch": launch, "copy": copy, "alloc": alloc, "corrupt": corrupt}
+        for kind, p in self.rates.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{kind} probability must be in [0, 1], got {p}")
+        self.device_loss = dict(device_loss or {})
+        for rank, n in self.device_loss.items():
+            if rank < 0 or n < 1:
+                raise ValueError(f"device_loss wants rank >= 0 and trigger >= 1, got {{{rank}: {n}}}")
+        self.max_injections = dict(max_injections or {})
+        self.lost: set[int] = set()
+        #: every injected fault as ``(kind, site, draw_index)``, in order
+        self.history: list[tuple[str, str, int]] = []
+        self._draws: dict[tuple[str, str], int] = {}
+        self._injected: dict[str, int] = {k: 0 for k in KINDS}
+        self._touches: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- probabilistic faults ------------------------------------------------
+    def decide(self, kind: str, site: str) -> bool:
+        """Advance the site's draw counter and decide whether to inject."""
+        if kind not in self.rates:
+            raise KeyError(f"unknown fault kind '{kind}'; expected one of {KINDS}")
+        p = self.rates[kind]
+        with self._lock:
+            n = self._draws.get((kind, site), 0)
+            self._draws[(kind, site)] = n + 1
+            if p <= 0.0:
+                return False
+            cap = self.max_injections.get(kind)
+            if cap is not None and self._injected[kind] >= cap:
+                return False
+            hit = unit_draw(self.seed, kind, site, n) < p
+            if hit:
+                self._injected[kind] += 1
+                self.history.append((kind, site, n))
+            return hit
+
+    def injected(self, kind: str | None = None) -> int:
+        """Total faults injected so far (of one kind, or overall)."""
+        with self._lock:
+            if kind is not None:
+                return self._injected[kind]
+            return sum(self._injected.values())
+
+    # -- corruption details --------------------------------------------------
+    def pick(self, site: str, n: int) -> int:
+        """Seeded choice of one index out of ``n`` (e.g. which field)."""
+        if n < 1:
+            raise ValueError("cannot pick from an empty collection")
+        return min(int(unit_draw(self.seed, "pick", site, n) * n), n - 1)
+
+    def corruption(self, site: str, size: int) -> tuple[int, float]:
+        """Seeded (flat position, poison value) for a buffer of ``size``."""
+        if size < 1:
+            raise ValueError("cannot corrupt an empty buffer")
+        pos = min(int(unit_draw(self.seed, "corrupt-pos", site, size) * size), size - 1)
+        value = math.nan if unit_draw(self.seed, "corrupt-val", site) < 0.5 else math.inf
+        return pos, value
+
+    # -- permanent device loss ----------------------------------------------
+    def touch_device(self, rank: int) -> None:
+        """Count one command on ``rank``; raise once its loss is due.
+
+        The host (rank ``-1``) never fails.  Already-lost devices raise
+        immediately; scheduled losses trigger at their configured count.
+        """
+        if rank < 0:
+            return
+        trigger = False
+        with self._lock:
+            if rank in self.lost:
+                trigger = True
+            else:
+                due = self.device_loss.get(rank)
+                if due is not None:
+                    n = self._touches.get(rank, 0) + 1
+                    self._touches[rank] = n
+                    if n >= due:
+                        self.lost.add(rank)
+                        trigger = True
+        if trigger:
+            raise DeviceLost(rank)
+
+    def acknowledge_loss(self, rank: int) -> None:
+        """Consume a loss after degradation re-indexed the survivors.
+
+        Ranks renumber when the DeviceSet shrinks, so the stale loss
+        entry must not shadow a healthy survivor with the same index.
+        """
+        with self._lock:
+            self.lost.discard(rank)
+            self.device_loss.pop(rank, None)
+            self._touches.pop(rank, None)
+
+    # -- reporting -----------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-able summary for trace metadata and CLI output."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rates": {k: v for k, v in self.rates.items() if v > 0.0},
+                "device_loss": dict(self.device_loss),
+                "lost": sorted(self.lost),
+                "injected": dict(self._injected),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rates = ", ".join(f"{k}={v:g}" for k, v in self.rates.items() if v > 0.0)
+        return f"FaultPlan(seed={self.seed}, {rates or 'no rates'}, loss={self.device_loss})"

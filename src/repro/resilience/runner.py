@@ -1,0 +1,175 @@
+"""Recovery orchestration: the resilient iterative driver.
+
+:class:`ResilientDriver` runs an iterative multi-GPU application under a
+:class:`~repro.resilience.faults.FaultPlan`, providing the three
+recovery behaviours the fault model needs:
+
+* **retry** happens below the driver, at the command-queue layer
+  (transient faults never surface here unless exhausted);
+* **rollback-and-replay** answers :class:`FaultExhausted` and
+  :class:`CorruptionDetected`: restore the last checkpoint into the
+  live fields and re-run from its step;
+* **degradation** answers :class:`DeviceLost`: shrink the backend to
+  the survivors, rebuild the application (grids re-partition their 1-D
+  slab decomposition, skeletons recompile their stream/event schedule),
+  migrate field state from the checkpoint, and resume.
+
+Applications plug in through a small duck-typed protocol::
+
+    app = factory(backend)     # build grids/fields/skeletons on a backend
+    app.fields()               # -> list[Field]: checkpointable state
+    app.scalars()              # -> dict: host-side loop state (optional)
+    app.step(i)                # run iteration i
+    app.on_restore(scalars)    # re-seed host state after a restore (optional)
+
+``factory`` must be deterministic in everything it does not restore from
+the checkpoint (boundary conditions, coefficients), so a rebuilt
+application is the same computation on a new decomposition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro import observability as _obs
+
+from .checkpoint import Checkpoint
+from .errors import CorruptionDetected, DeviceLost, FaultExhausted
+from .retry import RetryPolicy
+
+#: divergence-guardrail reactions (checked by RecoveryPolicy)
+DIVERGENCE_POLICIES = ("raise", "rollback", "log", "off")
+
+
+@dataclass
+class RecoveryPolicy:
+    """Tunable recovery behaviour shared by the injection sites and driver."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint_interval: int = 8
+    divergence: str = "rollback"
+    max_rollbacks: int = 32
+    min_devices: int = 1
+
+    def __post_init__(self) -> None:
+        if self.divergence not in DIVERGENCE_POLICIES:
+            raise ValueError(
+                f"divergence policy must be one of {DIVERGENCE_POLICIES}, got '{self.divergence}'"
+            )
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.max_rollbacks < 0 or self.min_devices < 1:
+            raise ValueError("max_rollbacks must be >= 0 and min_devices >= 1")
+
+
+def degraded_backend(backend, lost_rank: int, min_devices: int = 1):
+    """A new backend on the survivors of ``backend`` after losing one rank.
+
+    Survivors are re-indexed ``0..n-2`` (ranks are positional in a
+    DeviceSet); the machine model shrinks with them so the simulated
+    timeline reflects the degraded topology.
+    """
+    from repro.system.backend import Backend  # deferred: keeps this package import-cycle-free
+    from repro.system.device import DeviceSet
+
+    n = backend.num_devices - 1
+    if n < min_devices:
+        raise DeviceLost(
+            lost_rank,
+            f"device {lost_rank} lost but only {backend.num_devices} device(s) remain "
+            f"(min_devices={min_devices}); cannot degrade further",
+        )
+    return Backend(
+        DeviceSet.gpus(n),
+        machine=backend.machine.with_devices(n),
+        memory_capacity=backend.allocator.capacity_bytes,
+        mem_options=backend.mem_options,
+    )
+
+
+class ResilientDriver:
+    """Runs ``steps`` iterations of an application with full recovery."""
+
+    def __init__(
+        self,
+        factory: Callable,
+        backend,
+        steps: int,
+        policy: RecoveryPolicy | None = None,
+        plan=None,
+    ):
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        self.factory = factory
+        self.backend = backend
+        self.steps = steps
+        self.policy = policy or RecoveryPolicy()
+        self.plan = plan
+        self.rollbacks = 0
+        self.devices_lost = 0
+
+    # -- recovery actions ---------------------------------------------------
+    def _build(self, backend):
+        with _obs.span("resilience.build", cat="resilience", devices=backend.num_devices):
+            return self.factory(backend)
+
+    def _capture(self, app, step: int) -> Checkpoint:
+        scalars = app.scalars() if hasattr(app, "scalars") else {}
+        return Checkpoint.capture(app.fields(), scalars, step=step)
+
+    def _restore(self, app, ckpt: Checkpoint) -> int:
+        scalars = ckpt.restore(app.fields())
+        if hasattr(app, "on_restore"):
+            app.on_restore(scalars)
+        return ckpt.step
+
+    def _rollback(self, app, ckpt: Checkpoint, cause: Exception) -> int:
+        self.rollbacks += 1
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("rollbacks", cause=type(cause).__name__).inc()
+        with _obs.span("resilience.rollback", cat="resilience", to_step=ckpt.step):
+            return self._restore(app, ckpt)
+
+    def _degrade(self, lost: DeviceLost):
+        self.devices_lost += 1
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("devices_lost", rank=str(lost.rank)).inc()
+        with _obs.span("resilience.degrade", cat="resilience", lost_rank=lost.rank):
+            new_backend = degraded_backend(self.backend, lost.rank, self.policy.min_devices)
+            if self.plan is not None:
+                self.plan.acknowledge_loss(lost.rank)
+            return new_backend
+
+    # -- the loop -----------------------------------------------------------
+    def run(self):
+        """Run to completion; return the (possibly rebuilt) application."""
+        policy = self.policy
+        app = None
+        ckpt: Checkpoint | None = None
+        i = 0
+        with _obs.span("resilience.run", cat="resilience", steps=self.steps):
+            while True:
+                try:
+                    if app is None:
+                        app = self._build(self.backend)
+                        if ckpt is None:
+                            ckpt = self._capture(app, 0)
+                        else:
+                            i = self._restore(app, ckpt)
+                    while i < self.steps:
+                        try:
+                            app.step(i)
+                            i += 1
+                            if i % policy.checkpoint_interval == 0 and i < self.steps:
+                                ckpt = self._capture(app, i)
+                        except (FaultExhausted, CorruptionDetected) as exc:
+                            if isinstance(exc, CorruptionDetected) and policy.divergence == "raise":
+                                raise
+                            if self.rollbacks >= policy.max_rollbacks:
+                                raise
+                            i = self._rollback(app, ckpt, exc)
+                    return app
+                except DeviceLost as exc:
+                    self.backend = self._degrade(exc)
+                    app = None

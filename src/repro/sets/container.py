@@ -19,9 +19,10 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro import observability as _obs
+from repro import resilience as _res
 
 from .dataset import MultiDeviceData
-from .launch import estimate_cost
+from .launch import estimate_cost, wrap_kernel_faults
 from .loader import AccessToken, Loader, Pattern, ReduceMode
 from .mstream import MultiStream
 from .views import DataView
@@ -115,6 +116,9 @@ class Container:
                 def kernel(compute=compute, span=span):
                     for piece in span.pieces():
                         compute(piece)
+
+                if _res.RES.active:
+                    kernel = wrap_kernel_faults(kernel, self.name, self.tokens(), rank)
 
             label = f"{self.name}@{view}[{rank}]"
             if _obs.OBS.active:

@@ -1,14 +1,24 @@
-"""Launch helpers: cost estimation for view-restricted Container launches.
+"""Launch helpers: cost estimation and fault wrapping for Container launches.
 
 The DES needs a :class:`~repro.system.queue.KernelCost` per launch.  We
 derive it from the Container's access tokens, the launch view's cell
 count, and the data's per-cell byte density — the same roofline inputs a
 performance engineer would read off the kernel.
+
+This is also the resilience layer's launch-level injection site:
+:func:`wrap_kernel_faults` decorates a compute kernel with seeded
+NaN/Inf corruption of one written field buffer, modelling silent data
+corruption (a bit flip, a racy write) that only the divergence guardrail
+can catch.  Call sites guard on ``resilience.RES.active`` so the
+disabled path never sees the wrapper.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro import observability as _obs
+from repro import resilience as _res
 from repro.system import KernelCost
 
 from .dataset import MultiDeviceData
@@ -57,4 +67,52 @@ def estimate_cost(
     return cost
 
 
-__all__ = ["estimate_cost", "Access", "Pattern"]
+def wrap_kernel_faults(
+    kernel: Callable[[], None],
+    container_name: str,
+    tokens: list[AccessToken],
+    rank: int,
+) -> Callable[[], None]:
+    """Wrap a compute kernel with seeded post-launch buffer corruption.
+
+    When the armed :class:`~repro.resilience.FaultPlan` decides to
+    corrupt this launch, one written field buffer of the container is
+    picked (seeded) and a single element is poisoned with NaN or Inf at
+    a seeded position.  The corruption is silent by construction — only
+    the Skeleton's divergence guardrail or the solver's residual check
+    can surface it, which is exactly the failure mode under test.
+    """
+    plan = _res.RES.plan
+    if plan is None or plan.rates.get("corrupt", 0.0) <= 0.0:
+        return kernel
+    # only checkpoint-restorable fields (load_numpy marks the Field API):
+    # corruption targets the cells a kernel writes (its owned view), never
+    # reduce partials or buffer slack like the global-border ghost slices —
+    # a NaN in never-rewritten slack would survive every checkpoint restore
+    # and livelock rollback-and-replay
+    written = [
+        t.data
+        for t in tokens
+        if t.access.writes
+        and getattr(t.data, "buffers", None)
+        and callable(getattr(t.data, "load_numpy", None))
+    ]
+    if not written:
+        return kernel
+
+    def kernel_with_corruption():
+        kernel()
+        site = f"corrupt:{container_name}@{rank}"
+        if plan.decide("corrupt", site):
+            data = written[plan.pick(site, len(written))]
+            owned = data.partition(rank).view_all(data.span_for(rank, DataView.STANDARD))
+            if owned.size:
+                pos, value = plan.corruption(site, owned.size)
+                owned.flat[pos] = value
+                if _obs.OBS.active:
+                    _obs.OBS.metrics.counter("faults_injected", kind="corrupt").inc()
+
+    return kernel_with_corruption
+
+
+__all__ = ["estimate_cost", "wrap_kernel_faults", "Access", "Pattern"]

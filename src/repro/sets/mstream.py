@@ -52,10 +52,20 @@ class MultiEvent:
     def __getitem__(self, rank: int) -> Event:
         return self.events[rank]
 
+    def _check_size(self, stream: MultiStream, op: str) -> None:
+        if len(stream) != len(self.events):
+            raise ValueError(
+                f"cannot {op} MultiEvent '{self.name}' ({len(self.events)} devices) on "
+                f"MultiStream '{stream.name}' ({len(stream)} devices); both must span "
+                f"the same device set"
+            )
+
     def record_all(self, stream: MultiStream) -> None:
+        self._check_size(stream, "record")
         for rank, q in enumerate(stream.queues):
             q.record_event(self.events[rank])
 
     def wait_all(self, stream: MultiStream) -> None:
+        self._check_size(stream, "wait on")
         for rank, q in enumerate(stream.queues):
             q.wait_event(self.events[rank])

@@ -13,6 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro import observability as _obs
+from repro import resilience as _res
 from repro.sim import MachineSpec, Trace, simulate
 
 from .scheduler import ExecutionResult, Plan
@@ -89,3 +93,61 @@ def simulate_result(result: ExecutionResult, machine: MachineSpec | None = None)
     """Run the DES over an execution's recorded queues."""
     machine = machine or result.plan.backend.machine
     return simulate(result.queues, machine)
+
+
+def scan_non_finite(containers) -> list[str]:
+    """Names of written fields holding NaN/Inf after an execution.
+
+    Only data the containers declare as written is scanned — read-only
+    inputs with legitimate sentinel values never trip the guardrail, and
+    the scan cost stays proportional to the state the step could have
+    corrupted.
+    """
+    bad: list[str] = []
+    seen: set[int] = set()
+    for c in containers:
+        for tok in c.tokens():
+            data = tok.data
+            if not tok.access.writes or id(data) in seen:
+                continue
+            seen.add(id(data))
+            # Fields are scanned through their global view: owned cells are
+            # exactly what a checkpoint restore rewrites, so every NaN this
+            # scan can see is one a rollback can clear.  Raw-buffer slack
+            # (halo slots, alignment padding) is excluded — kernels never
+            # read padding, and halos are refreshed on restore.
+            to_numpy = getattr(data, "to_numpy", None)
+            if callable(to_numpy) and not getattr(data, "virtual", False):
+                arr = to_numpy()
+                if arr.size and not np.isfinite(arr).all():
+                    bad.append(data.name)
+                continue
+            for buf in getattr(data, "buffers", None) or []:
+                arr = buf.array
+                if arr is not None and arr.size and not np.isfinite(arr).all():
+                    bad.append(data.name)
+                    break
+    return bad
+
+
+def enforce_divergence_guardrail(containers, skeleton_name: str = "") -> None:
+    """The Skeleton-level NaN/Inf guardrail (resilience injection site).
+
+    Called after every ``Skeleton.run()`` while resilience is armed.
+    The reaction follows the recovery policy: ``raise`` and ``rollback``
+    both surface :class:`~repro.resilience.CorruptionDetected` (the
+    resilient driver converts the latter into rollback-and-replay);
+    ``log`` only counts the event; ``off`` skips the scan entirely.
+    """
+    policy = _res.RES.policy
+    mode = policy.divergence if policy is not None else "off"
+    if mode == "off":
+        return
+    with _obs.span("resilience.divergence_scan", cat="resilience", skeleton=skeleton_name):
+        bad = scan_non_finite(containers)
+    if not bad:
+        return
+    if _obs.OBS.active:
+        _obs.OBS.metrics.counter("divergence_detected", policy=mode).inc()
+    if mode != "log":
+        raise _res.CorruptionDetected(bad)

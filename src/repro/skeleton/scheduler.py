@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import observability as _obs
+from repro import resilience as _res
 from repro.sets import Container, DataView, ReduceMode
+from repro.sets.launch import wrap_kernel_faults
 from repro.sets.loader import Loader
 from repro.system import Backend, CommandQueue, Event
 
@@ -78,6 +80,9 @@ def _launch_compute_piece(
         def kernel(compute=compute, span=span):
             for piece in span.pieces():
                 compute(piece)
+
+        if _res.RES.active:
+            kernel = wrap_kernel_faults(kernel, container.name, container.tokens(), rank)
 
     queue.enqueue_kernel(label, kernel, cost)
     return True

@@ -12,11 +12,12 @@ the performance model.
 from __future__ import annotations
 
 from repro import observability as _obs
+from repro import resilience as _res
 from repro.sets import Container
 from repro.sim import MachineSpec, Trace
 from repro.system import Backend
 
-from .executor import check_trace_dependencies, simulate_result
+from .executor import check_trace_dependencies, enforce_divergence_guardrail, simulate_result
 from .mgraph import build_multi_gpu_graph
 from .occ import Occ, OccReport, apply_occ
 from .scheduler import ExecutionResult, Plan
@@ -54,6 +55,8 @@ class Skeleton:
         """Execute once on the backend's devices; results land in the fields."""
         with _obs.span(f"skeleton.run:{self.name}", cat="phase", skeleton=self.name):
             self.last_result = self.plan.execute(eager=True)
+            if _res.RES.active:
+                enforce_divergence_guardrail(self.containers, self.name)
         return self.last_result
 
     def record(self) -> ExecutionResult:

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core import ops
 from repro.domain.grid import Grid
+from repro.resilience import SolverDiverged
 from repro.skeleton import Occ, Skeleton
 
 ApplyFactory = Callable[[Grid, object, object, str], object]
@@ -46,9 +47,20 @@ class CGResult:
     def final_residual(self) -> float:
         return self.residual_norms[-1] if self.residual_norms else float("inf")
 
+    @property
+    def diverged(self) -> bool:
+        """True when any recorded residual is non-finite (NaN/Inf)."""
+        return any(not np.isfinite(r) for r in self.residual_norms)
+
 
 def _axpby_cell(grid, a_cell: dict, x, b_cell: dict, y, name: str):
-    """y <- a*x + b*y with host-updated coefficients (read at launch)."""
+    """y <- a*x + b*y with host-updated coefficients (read at launch).
+
+    ``b == 0`` assigns ``a*x`` outright instead of multiplying into the
+    old ``y``: on a (re)started iteration ``p`` may hold stale — even
+    non-finite — data, and ``0 * NaN`` would smuggle it into the fresh
+    Krylov basis.
+    """
 
     def loading(loader):
         xp = loader.read(x)
@@ -57,7 +69,10 @@ def _axpby_cell(grid, a_cell: dict, x, b_cell: dict, y, name: str):
 
         def compute(span):
             yv = yp.view_all(span)
-            yv[...] = a * xp.view_all(span) + b * yv
+            if b == 0.0:
+                yv[...] = a * xp.view_all(span)
+            else:
+                yv[...] = a * xp.view_all(span) + b * yv
 
         return compute
 
@@ -124,36 +139,83 @@ class ConjugateGradient:
             name=f"{name}_b",
         )
 
+    def begin(self, tolerance: float = 1e-8) -> CGResult:
+        """(Re)start the iteration from the current iterate ``x``.
+
+        Runs the init skeleton (``r = b - A x``), seeds the scalars, and
+        returns the fresh :class:`CGResult`.  Because CG restarted from
+        any iterate still converges to the same SPD solution, this is
+        also the *recovery* entry point: after a checkpoint restore or a
+        device-loss migration, calling ``begin()`` resumes the solve
+        from the restored ``x``.
+        """
+        self._rr_read = ops.ScalarResult(self.rr_partial)
+        self._pq_read = ops.ScalarResult(self.pq_partial)
+        self.sk_init.run()
+        delta = self._rr_read.value()
+        norm0 = float(np.sqrt(delta))
+        self.result = CGResult(converged=False, iterations=0, residual_norms=[norm0])
+        if not np.isfinite(norm0):
+            raise SolverDiverged(0, self.result.residual_norms[-8:])
+        if norm0 <= tolerance:
+            self.result.converged = True
+        self._delta = delta
+        self._tolerance = tolerance
+        self.beta["v"] = 0.0
+        return self.result
+
+    def iterate(self) -> bool:
+        """Run one CG iteration; return True once converged.
+
+        Raises :class:`~repro.resilience.SolverDiverged` the moment the
+        residual (or the curvature ``<p, Ap>``) turns non-finite instead
+        of silently looping to ``max_iterations`` on NaNs.
+        """
+        result = self.result
+        if result.converged:
+            return True
+        self.sk_a.run()
+        pq = self._pq_read.value()
+        if not np.isfinite(pq):
+            result.residual_norms.append(float("nan"))
+            raise SolverDiverged(result.iterations + 1, result.residual_norms[-8:])
+        if pq <= 0.0:
+            raise RuntimeError(f"operator is not positive definite: <p, Ap> = {pq}")
+        self.alpha["v"] = self._delta / pq
+        self.neg_alpha["v"] = -self.alpha["v"]
+        self.sk_b.run()
+        delta_new = self._rr_read.value()
+        norm = float(np.sqrt(delta_new))
+        result.residual_norms.append(norm)
+        result.iterations += 1
+        if not np.isfinite(norm):
+            raise SolverDiverged(result.iterations, result.residual_norms[-8:])
+        if norm <= self._tolerance:
+            result.converged = True
+            return True
+        self.beta["v"] = delta_new / self._delta
+        self._delta = delta_new
+        return False
+
     def solve(self, max_iterations: int = 200, tolerance: float = 1e-8) -> CGResult:
         """Run CG until the residual 2-norm drops below tolerance."""
-        rr_read = ops.ScalarResult(self.rr_partial)
-        pq_read = ops.ScalarResult(self.pq_partial)
-        self.sk_init.run()
-        delta = rr_read.value()
-        norm0 = np.sqrt(delta)
-        result = CGResult(converged=False, iterations=0, residual_norms=[norm0])
-        if norm0 <= tolerance:
-            result.converged = True
+        result = self.begin(tolerance)
+        if result.converged:
             return result
-        self.beta["v"] = 0.0
-        for it in range(1, max_iterations + 1):
-            self.sk_a.run()
-            pq = pq_read.value()
-            if pq <= 0.0:
-                raise RuntimeError(f"operator is not positive definite: <p, Ap> = {pq}")
-            self.alpha["v"] = delta / pq
-            self.neg_alpha["v"] = -self.alpha["v"]
-            self.sk_b.run()
-            delta_new = rr_read.value()
-            norm = float(np.sqrt(delta_new))
-            result.residual_norms.append(norm)
-            result.iterations = it
-            if norm <= tolerance:
-                result.converged = True
+        for _ in range(max_iterations):
+            if self.iterate():
                 break
-            self.beta["v"] = delta_new / delta
-            delta = delta_new
         return result
+
+    # -- resilience hooks ---------------------------------------------------
+    def checkpoint_fields(self) -> list:
+        """The minimal state a checkpoint must carry: the iterate ``x``.
+
+        Restart-from-iterate recovery means the Krylov internals
+        (r, p, q and the host scalars) are recomputed by :meth:`begin`,
+        so only ``x`` needs to survive a rollback or migration.
+        """
+        return [self.x]
 
     def iteration_makespan(self, machine=None, include_readback: bool = True) -> float:
         """Simulated time of one CG iteration (both skeletons).

@@ -146,6 +146,18 @@ class LidDrivenCavity:
             self.skeletons[self._parity].run()
             self._parity = 1 - self._parity
 
+    # -- resilience hooks ---------------------------------------------------
+    def checkpoint_fields(self) -> list:
+        """Both population fields — the complete state of the stepping."""
+        return list(self.f)
+
+    def checkpoint_scalars(self) -> dict:
+        """Host-side loop state: which field holds the latest populations."""
+        return {"parity": self._parity}
+
+    def restore_scalars(self, scalars: dict) -> None:
+        self._parity = int(scalars["parity"])
+
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
         """Global density and velocity arrays (host-side readback)."""
         f = self.current.to_numpy()

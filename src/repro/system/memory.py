@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import observability as _obs
+from repro import resilience as _res
 
 from .device import Device
 
@@ -127,15 +128,45 @@ class DeviceAllocator:
     def used_bytes(self, device: Device) -> int:
         return self._used.get(device.uid, 0)
 
+    def report(self, device: Device, limit: int | None = None) -> list[tuple[str, int, int]]:
+        """Live allocations on ``device`` as ``(description, bytes, padding)``.
+
+        Sorted by footprint, largest first, so the head of the list names
+        the buffers worth evicting (or virtualising) when an OOM hits.
+        """
+        rows = [
+            (f"buf#{b.uid} shape={b.shape} dtype={b.dtype}", b.allocated_bytes, b.padding_bytes)
+            for b in self._live.get(device.uid, [])
+        ]
+        rows.sort(key=lambda r: r[1], reverse=True)
+        return rows[:limit] if limit is not None else rows
+
+    def _oom_detail(self, device: Device, top: int = 5) -> str:
+        rows = self.report(device, limit=top)
+        if not rows:
+            return "no live allocations"
+        lines = [f"    {desc}: {nbytes} B ({pad} B padding)" for desc, nbytes, pad in rows]
+        return f"top {len(rows)} of {len(self._live.get(device.uid, []))} live allocations:\n" + "\n".join(
+            lines
+        )
+
     def allocate(
         self, device: Device, shape, dtype, options: MemOptions | None = None, virtual: bool = False
     ) -> DeviceBuffer:
+        if _res.RES.active:
+            # allocation-fault injection site (also loss-checks the device)
+            if _res.should_fail_allocation(device.index, f"alloc@{device.index}"):
+                raise AllocationError(
+                    f"device {device.index}: injected allocation fault (seeded); "
+                    f"{self._oom_detail(device)}"
+                )
         buf = DeviceBuffer(device, shape, dtype, options, virtual=virtual)
         if self.capacity_bytes is not None:
             if self.used_bytes(device) + buf.allocated_bytes > self.capacity_bytes:
                 raise AllocationError(
                     f"device {device.index}: allocation of {buf.allocated_bytes} B exceeds "
-                    f"capacity {self.capacity_bytes} B ({self.used_bytes(device)} B in use)"
+                    f"capacity {self.capacity_bytes} B ({self.used_bytes(device)} B in use); "
+                    f"{self._oom_detail(device)}"
                 )
         self._used[device.uid] = self.used_bytes(device) + buf.allocated_bytes
         self._live.setdefault(device.uid, []).append(buf)

@@ -22,6 +22,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro import observability as _obs
+from repro import resilience as _res
 
 from .device import Device
 
@@ -152,6 +153,17 @@ class WaitEventCommand(Command):
         self.event = event
 
 
+def _site_name(name: str) -> str:
+    """Stable injection-site key for a command name.
+
+    Command names may carry a ``#<uid>`` disambiguator (repeated halo
+    updates of one field); uids are process-global counters, so they are
+    stripped here to keep fault decisions reproducible across runs.
+    """
+    base, sep, tail = name.rpartition("#")
+    return base if sep and tail.isdigit() else name
+
+
 class CommandQueue:
     """An in-order asynchronous queue bound to one device (a stream)."""
 
@@ -172,7 +184,13 @@ class CommandQueue:
             m.counter("kernel_bytes_modeled", device=dev).inc(cost.bytes_moved)
             m.gauge("queue_depth", queue=self.name).set(len(self.commands))
         if self.eager:
-            fn()
+            if _res.RES.active:
+                # launch-fault injection site: loss check + retry/backoff
+                _res.execute_command(
+                    "launch", f"{_site_name(name)}@{self.device.index}", (self.device.index,), fn
+                )
+            else:
+                fn()
         return cmd
 
     def enqueue_copy(
@@ -192,7 +210,13 @@ class CommandQueue:
             m.counter("copy_bytes", src=src.metric_label, dst=dst.metric_label).inc(nbytes)
             m.gauge("queue_depth", queue=self.name).set(len(self.commands))
         if self.eager:
-            fn()
+            if _res.RES.active:
+                # copy-fault injection site: both endpoints are loss-checked
+                _res.execute_command(
+                    "copy", f"{_site_name(name)}@{src.index}->{dst.index}", (src.index, dst.index), fn
+                )
+            else:
+                fn()
         return cmd
 
     def record_event(self, event: Event) -> RecordEventCommand:

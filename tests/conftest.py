@@ -9,6 +9,7 @@ documented default (observability off) true between tests.
 import pytest
 
 from repro import observability as obs
+from repro import resilience as res
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -32,3 +33,13 @@ def observability_per_test(request):
             print(obs.tracer().timeline(limit=40))
     finally:
         obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def resilience_disarmed():
+    """Keep the documented default (no fault injection) true between tests."""
+    res.reset()
+    try:
+        yield
+    finally:
+        res.reset()

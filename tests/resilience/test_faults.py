@@ -1,0 +1,125 @@
+"""FaultPlan: seeded, site-keyed, reproducible fault decisions."""
+
+import pytest
+
+from repro.resilience import DeviceLost, FaultPlan, unit_draw
+
+
+def drain(plan, kind, site, n):
+    return [plan.decide(kind, site) for _ in range(n)]
+
+
+def test_unit_draw_in_unit_interval_and_deterministic():
+    draws = [unit_draw(7, "launch", "site", i) for i in range(1000)]
+    assert all(0.0 <= d < 1.0 for d in draws)
+    assert draws == [unit_draw(7, "launch", "site", i) for i in range(1000)]
+    # distinct keys decorrelate
+    assert draws != [unit_draw(8, "launch", "site", i) for i in range(1000)]
+
+
+def test_same_seed_same_decisions_regardless_of_call_order():
+    a = FaultPlan(seed=42, launch=0.3, copy=0.2)
+    b = FaultPlan(seed=42, launch=0.3, copy=0.2)
+    # per-(kind, site) draw counters make each site's decision sequence
+    # independent of global call order (and of Device.uid counter state)
+    a_launch = drain(a, "launch", "k@0", 50)
+    a_copy = drain(a, "copy", "h@0->1", 50)
+    b_launch, b_copy = [], []
+    for _ in range(50):
+        b_copy.append(b.decide("copy", "h@0->1"))
+        b_launch.append(b.decide("launch", "k@0"))
+    assert a_launch == b_launch
+    assert a_copy == b_copy
+    assert sorted(a.history) == sorted(b.history)
+
+
+def test_rate_zero_never_rate_one_always():
+    plan = FaultPlan(seed=1, launch=0.0, copy=1.0)
+    assert not any(drain(plan, "launch", "s", 100))
+    assert all(drain(plan, "copy", "s", 100))
+
+
+def test_rate_roughly_respected():
+    plan = FaultPlan(seed=3, launch=0.1)
+    hits = sum(drain(plan, "launch", "s", 2000))
+    assert 120 <= hits <= 280  # ~10% of 2000, generous band
+
+
+def test_unknown_kind_and_bad_rate_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan(seed=0, launch=1.5)
+    with pytest.raises(KeyError):
+        FaultPlan(seed=0).decide("meteor", "s")
+
+
+def test_max_injections_caps_total():
+    plan = FaultPlan(seed=5, launch=1.0, max_injections={"launch": 3})
+    hits = sum(drain(plan, "launch", "s", 10))
+    assert hits == 3
+    assert plan.injected("launch") == 3
+
+
+def test_history_records_injections():
+    plan = FaultPlan(seed=9, copy=1.0)
+    plan.decide("copy", "x")
+    plan.decide("copy", "x")
+    assert plan.history == [("copy", "x", 0), ("copy", "x", 1)]
+
+
+def test_pick_and_corruption_are_seeded_and_bounded():
+    plan = FaultPlan(seed=11, corrupt=1.0)
+    assert 0 <= plan.pick("s", 5) < 5
+    assert plan.pick("s", 5) == FaultPlan(seed=11, corrupt=1.0).pick("s", 5)
+    pos, value = plan.corruption("s", 100)
+    assert 0 <= pos < 100
+    assert value != value or value == float("inf")  # NaN or Inf
+    with pytest.raises(ValueError):
+        plan.pick("s", 0)
+    with pytest.raises(ValueError):
+        plan.corruption("s", 0)
+
+
+def test_device_loss_triggers_at_nth_touch_then_always():
+    plan = FaultPlan(seed=0, device_loss={1: 3})
+    plan.touch_device(1)
+    plan.touch_device(1)
+    with pytest.raises(DeviceLost):
+        plan.touch_device(1)
+    with pytest.raises(DeviceLost):
+        plan.touch_device(1)  # lost stays lost
+    plan.touch_device(0)  # other ranks unaffected
+    assert plan.lost == {1}
+
+
+def test_host_rank_never_fails():
+    plan = FaultPlan(seed=0, device_loss={0: 1})
+    plan.touch_device(-1)  # host
+    with pytest.raises(DeviceLost):
+        plan.touch_device(0)
+
+
+def test_acknowledge_loss_unshadows_renumbered_rank():
+    plan = FaultPlan(seed=0, device_loss={1: 1})
+    with pytest.raises(DeviceLost):
+        plan.touch_device(1)
+    plan.acknowledge_loss(1)
+    # after the DeviceSet shrinks, a healthy survivor takes index 1
+    plan.touch_device(1)
+    assert plan.lost == set()
+
+
+def test_invalid_device_loss_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan(seed=0, device_loss={-1: 1})
+    with pytest.raises(ValueError):
+        FaultPlan(seed=0, device_loss={0: 0})
+
+
+def test_describe_is_json_able_summary():
+    plan = FaultPlan(seed=2, launch=0.5, device_loss={2: 9})
+    plan.decide("launch", "s")
+    d = plan.describe()
+    assert d["seed"] == 2
+    assert d["rates"] == {"launch": 0.5}
+    assert d["device_loss"] == {2: 9}
+    assert set(d["injected"]) == {"launch", "copy", "alloc", "corrupt"}

@@ -1,0 +1,151 @@
+"""The injection sites: queue launch/copy, allocation, corruption, guardrail.
+
+Every site hides behind the single ``resilience.RES.active`` attribute
+read; with the layer disarmed the faulted paths must be unreachable.
+"""
+
+import numpy as np
+import pytest
+
+from repro import resilience as res
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.resilience import (
+    CorruptionDetected,
+    FaultExhausted,
+    FaultPlan,
+    RecoveryPolicy,
+    RetryPolicy,
+)
+from repro.skeleton import Skeleton
+from repro.skeleton.executor import scan_non_finite
+from repro.system import AllocationError, Backend
+
+
+def make_increment(grid, u, name="inc"):
+    def loading(loader):
+        up = loader.read_write(u)
+
+        def compute(span):
+            up.view_all(span)[...] += 1.0
+
+        return compute
+
+    return grid.new_container(name, loading)
+
+
+def build(devices=2, shape=(4, 4, 4)):
+    backend = Backend.sim_gpus(devices)
+    grid = DenseGrid(backend, shape, stencils=[STENCIL_7PT], name="inj")
+    u = grid.new_field("u")
+    u.fill(0.0)
+    return backend, grid, u
+
+
+def test_disarmed_layer_injects_nothing():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=0, launch=1.0, copy=1.0, alloc=1.0, corrupt=1.0)
+    assert not res.enabled()
+    sk = Skeleton(backend, [make_increment(grid, u)], name="calm")
+    sk.run()
+    assert np.all(u.to_numpy() == 1.0)
+    assert plan.injected() == 0
+
+
+def test_launch_faults_absorbed_by_queue_retry():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=3, launch=0.4)
+    sk = Skeleton(backend, [make_increment(grid, u)], name="retrying")
+    with res.session(plan, RecoveryPolicy(retry=RetryPolicy(max_attempts=6))):
+        for _ in range(10):
+            sk.run()
+    assert plan.injected("launch") > 0
+    assert np.all(u.to_numpy() == 10.0)  # every retry replayed exactly once
+
+
+def test_launch_fault_exhaustion_surfaces_typed_error():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=0, launch=1.0)
+    sk = Skeleton(backend, [make_increment(grid, u)], name="doomed")
+    with res.session(plan, RecoveryPolicy(retry=RetryPolicy(max_attempts=2, base_delay=0.0))):
+        with pytest.raises(FaultExhausted):
+            sk.run()
+
+
+def test_copy_faults_injected_on_halo_exchange():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=1, copy=0.5)
+    with res.session(plan, RecoveryPolicy(retry=RetryPolicy(max_attempts=8))):
+        u.sync_halo_now()
+        u.sync_halo_now()
+    assert plan.injected("copy") > 0
+
+
+def test_allocation_fault_raises_allocation_error_with_report():
+    backend, grid, _ = build()
+    plan = FaultPlan(seed=0, alloc=1.0)
+    with res.session(plan):
+        with pytest.raises(AllocationError, match="injected"):
+            grid.new_field("doomed")
+
+
+def test_corruption_injected_into_owned_cells_only():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=2, corrupt=1.0, max_injections={"corrupt": 1})
+    sk = Skeleton(backend, [make_increment(grid, u)], name="sdc")
+    with res.session(plan, RecoveryPolicy(divergence="log")):
+        sk.run()
+    assert plan.injected("corrupt") == 1
+    # exactly one owned cell poisoned (NaN or Inf) ...
+    assert (~np.isfinite(u.to_numpy())).sum() == 1
+    # ... and nothing in buffer slack: the poison is visible in the global
+    # view, so a checkpoint restore can clear it (no rollback livelock)
+    raw_bad = sum(int((~np.isfinite(buf.array)).sum()) for buf in u.buffers)
+    assert raw_bad == 1
+
+
+def test_guardrail_rolls_corruption_into_typed_error():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=2, corrupt=1.0, max_injections={"corrupt": 1})
+    sk = Skeleton(backend, [make_increment(grid, u)], name="guarded")
+    with res.session(plan, RecoveryPolicy(divergence="rollback")):
+        with pytest.raises(CorruptionDetected, match="u"):
+            sk.run()
+
+
+def test_guardrail_log_policy_only_counts():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=2, corrupt=1.0, max_injections={"corrupt": 1})
+    sk = Skeleton(backend, [make_increment(grid, u)], name="logged")
+    with res.session(plan, RecoveryPolicy(divergence="log")):
+        sk.run()  # must not raise
+
+
+def test_guardrail_off_policy_skips_scan():
+    backend, grid, u = build()
+    plan = FaultPlan(seed=2, corrupt=1.0, max_injections={"corrupt": 1})
+    sk = Skeleton(backend, [make_increment(grid, u)], name="unguarded")
+    with res.session(plan, RecoveryPolicy(divergence="off")):
+        sk.run()  # corrupted, but nobody looks
+
+
+def test_scan_ignores_buffer_slack_but_sees_owned_cells():
+    _, grid, u = build()
+    u.fill(1.0)
+    probe = make_increment(grid, u, "probe")
+    # poison a global-border ghost slice: owned state stays clean
+    u.buffers[0].array[0, 0] = np.nan
+    assert scan_non_finite([probe]) == []
+    # poison an owned cell: the scan must name the field
+    arr = u.to_numpy()
+    arr[0, 1, 1, 1] = np.nan
+    u.load_numpy(arr)
+    assert scan_non_finite([probe]) == ["u"]
+
+
+def test_device_loss_at_queue_site():
+    backend, grid, u = build(devices=3, shape=(6, 4, 4))
+    plan = FaultPlan(seed=0, device_loss={2: 1})
+    sk = Skeleton(backend, [make_increment(grid, u)], name="lossy")
+    with res.session(plan):
+        with pytest.raises(res.DeviceLost):
+            sk.run()

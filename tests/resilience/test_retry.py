@@ -1,0 +1,111 @@
+"""Retry with exponential backoff: absorption, exhaustion, determinism."""
+
+import pytest
+
+from repro import observability as obs
+from repro.resilience import (
+    FaultExhausted,
+    FaultPlan,
+    LaunchFault,
+    RetryPolicy,
+    TransientFault,
+    run_with_retry,
+)
+
+
+def no_sleep(_):
+    pass
+
+
+def test_success_without_faults_is_one_attempt():
+    attempt = run_with_retry(lambda: None, "launch", "s", RetryPolicy(), None, sleep=no_sleep)
+    assert attempt == 1
+
+
+def test_injected_transients_are_absorbed():
+    # inject exactly 2 faults, then the plan runs dry
+    plan = FaultPlan(seed=0, launch=1.0, max_injections={"launch": 2})
+    ran = []
+    attempt = run_with_retry(
+        lambda: ran.append(1), "launch", "s", RetryPolicy(max_attempts=4), plan, sleep=no_sleep
+    )
+    assert attempt == 3
+    assert ran == [1]  # the command itself ran exactly once
+
+
+def test_exhaustion_raises_typed_error_with_context():
+    plan = FaultPlan(seed=0, launch=1.0)
+    with pytest.raises(FaultExhausted) as exc_info:
+        run_with_retry(lambda: None, "launch", "s", RetryPolicy(max_attempts=3), plan, sleep=no_sleep)
+    err = exc_info.value
+    assert err.kind == "launch"
+    assert err.site == "s"
+    assert err.attempts == 3
+    assert isinstance(err.__cause__, TransientFault)
+
+
+def test_fn_raised_transients_also_retry():
+    fails = iter([True, True, False])
+
+    def flaky():
+        if next(fails):
+            raise LaunchFault("s", 0)
+
+    attempt = run_with_retry(flaky, "launch", "s", RetryPolicy(max_attempts=4), None, sleep=no_sleep)
+    assert attempt == 3
+
+
+def test_non_transient_errors_propagate_untouched():
+    def broken():
+        raise ZeroDivisionError
+
+    with pytest.raises(ZeroDivisionError):
+        run_with_retry(broken, "launch", "s", RetryPolicy(), None, sleep=no_sleep)
+
+
+def test_backoff_grows_geometrically_and_caps():
+    p = RetryPolicy(base_delay=0.001, max_delay=0.004, multiplier=2.0, jitter=0.0)
+    assert p.delay(1) == pytest.approx(0.001)
+    assert p.delay(2) == pytest.approx(0.002)
+    assert p.delay(3) == pytest.approx(0.004)
+    assert p.delay(4) == pytest.approx(0.004)  # capped
+
+
+def test_jitter_is_seeded_and_bounded():
+    p = RetryPolicy(base_delay=0.001, jitter=0.5)
+    d1 = p.delay(1, seed=7, site="s")
+    assert d1 == p.delay(1, seed=7, site="s")
+    assert 0.0005 <= d1 <= 0.0015
+    assert d1 != p.delay(1, seed=8, site="s")
+
+
+def test_sleep_receives_each_backoff_delay():
+    plan = FaultPlan(seed=0, copy=1.0, max_injections={"copy": 2})
+    slept = []
+    run_with_retry(lambda: None, "copy", "s", RetryPolicy(max_attempts=4), plan, sleep=slept.append)
+    assert len(slept) == 2
+    assert all(d > 0 for d in slept)
+
+
+def test_retry_metrics_recorded():
+    obs.reset()
+    obs.enable()
+    try:
+        plan = FaultPlan(seed=0, launch=1.0, max_injections={"launch": 2})
+        run_with_retry(lambda: None, "launch", "s", RetryPolicy(max_attempts=4), plan, sleep=no_sleep)
+        m = obs.OBS.metrics
+        assert m.total("faults_injected") == 2
+        assert m.total("retries") == 2
+    finally:
+        obs.reset()
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=2.0)
+    with pytest.raises(ValueError):
+        RetryPolicy().delay(0)

@@ -30,3 +30,15 @@ def test_empty_stream_rejected():
         MultiStream([])
     with pytest.raises(ValueError):
         MultiEvent(0)
+
+
+@pytest.mark.parametrize("op_name", ["record_all", "wait_all"])
+def test_device_count_mismatch_rejected_naming_both_sizes(op_name):
+    backend = Backend.sim_gpus(3)
+    stream = MultiStream.create(backend, "wide", eager=False)
+    ev = MultiEvent(2, "narrow")
+    with pytest.raises(ValueError, match=r"'narrow' \(2 devices\).*'wide' \(3 devices\)"):
+        getattr(ev, op_name)(stream)
+    # no partial side effects: nothing recorded, nothing enqueued
+    assert all(ev[r].recorded_in is None for r in range(2))
+    assert all(not q.commands for q in stream)

@@ -88,6 +88,65 @@ def test_empty_history_final_residual():
     assert CGResult(converged=False, iterations=0).final_residual == float("inf")
 
 
+def test_divergence_raises_typed_error_with_history_tail():
+    from repro.resilience import SolverDiverged
+
+    grid, b, x, cg = setup()
+    vals = np.ones(grid.shape)
+    vals[0, 0, 0] = np.nan  # a poisoned right-hand side diverges immediately
+    b.init(lambda z, y, xx: vals[z, y, xx])
+    with pytest.raises(SolverDiverged) as exc_info:
+        cg.solve(max_iterations=10)
+    err = exc_info.value
+    assert err.iteration == 0
+    assert len(err.residual_tail) >= 1
+    assert not np.isfinite(err.residual_tail[-1])
+    assert cg.result.diverged
+
+
+def test_diverged_property_false_on_clean_solve():
+    grid, b, x, cg = setup()
+    b.fill(1.0)
+    res = cg.solve(max_iterations=200, tolerance=1e-10)
+    assert res.converged
+    assert not res.diverged
+
+
+def test_mid_iteration_divergence_detected():
+    from repro.resilience import SolverDiverged
+
+    grid, b, x, cg = setup()
+    b.fill(1.0)
+    cg.begin(tolerance=1e-10)
+    cg.iterate()  # beta is now nonzero: stale p is blended, not overwritten
+    # poison the search direction between iterations: the next curvature
+    # read turns non-finite and must surface as SolverDiverged, not loop
+    poisoned = cg.p.to_numpy()
+    poisoned[0, 0, 0, 0] = np.nan
+    cg.p.load_numpy(poisoned)
+    with pytest.raises(SolverDiverged):
+        for _ in range(5):
+            cg.iterate()
+    assert cg.result.diverged
+
+
+def test_begin_restarts_from_current_iterate():
+    grid, b, x, cg = setup()
+    rng = np.random.default_rng(11)
+    vals = rng.standard_normal(grid.shape)
+    b.init(lambda z, y, xx: vals[z, y, xx])
+    cg.begin(tolerance=1e-10)
+    for _ in range(5):
+        cg.iterate()
+    # restart mid-solve (the recovery entry point): still converges
+    cg.begin(tolerance=1e-10)
+    for _ in range(300):
+        if cg.iterate():
+            break
+    assert cg.result.converged
+    assert cg.checkpoint_fields() == [cg.x]
+
+
 @pytest.mark.parametrize("occ", [Occ.NONE, Occ.TWO_WAY])
 def test_iteration_makespan_scales_with_grid(occ):
     small = setup(shape=(16, 16, 16), occ=occ)[3].iteration_makespan()

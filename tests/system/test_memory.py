@@ -66,3 +66,43 @@ def test_bad_alignment_rejected():
 def test_negative_padding_rejected():
     with pytest.raises(ValueError):
         MemOptions(padding=-1)
+
+
+def test_report_lists_live_allocations_largest_first(dev):
+    alloc = DeviceAllocator()
+    alloc.allocate(dev, (4,), np.float64, MemOptions(alignment=1))
+    big = alloc.allocate(dev, (64,), np.float64, MemOptions(alignment=1, padding=2))
+    alloc.allocate(dev, (16,), np.float64, MemOptions(alignment=1))
+    rows = alloc.report(dev)
+    assert len(rows) == 3
+    assert [r[1] for r in rows] == sorted((r[1] for r in rows), reverse=True)
+    desc, nbytes, padding = rows[0]
+    assert "shape=(64,)" in desc and "float64" in desc
+    assert nbytes == big.allocated_bytes
+    assert padding == 16
+    assert alloc.report(dev, limit=2) == rows[:2]
+
+
+def test_report_excludes_freed_and_other_devices():
+    ds = DeviceSet.gpus(2)
+    alloc = DeviceAllocator()
+    kept = alloc.allocate(ds[0], (8,), np.float64)
+    freed = alloc.allocate(ds[0], (8,), np.float64)
+    alloc.allocate(ds[1], (8,), np.float64)
+    alloc.free(freed)
+    rows = alloc.report(ds[0])
+    assert len(rows) == 1
+    assert f"buf#{kept.uid}" in rows[0][0]
+
+
+def test_oom_message_names_top_allocations():
+    ds = DeviceSet.gpus(1)
+    alloc = DeviceAllocator(capacity_bytes=1024)
+    alloc.allocate(ds[0], (64,), np.float64, MemOptions(alignment=1))  # 512 B
+    alloc.allocate(ds[0], (32,), np.float64, MemOptions(alignment=1))  # 256 B
+    with pytest.raises(AllocationError) as exc_info:
+        alloc.allocate(ds[0], (128,), np.float64, MemOptions(alignment=1))
+    msg = str(exc_info.value)
+    assert "live allocations" in msg
+    assert "shape=(64,)" in msg  # largest first
+    assert "512 B" in msg
