@@ -12,6 +12,10 @@
         # run a fault-matrix miniature under a seeded FaultPlan with full
         # recovery armed, verify the result against a fault-free run, and
         # export the recovery trace; exits non-zero on mismatch
+    python -m repro bench lbm --json --devices 4
+        # run a miniature in serial and parallel execution modes, print a
+        # comparison, and (with --json) write BENCH_lbm.json; --tripwire R
+        # exits non-zero if parallel wall-clock exceeds R x serial
 """
 
 from __future__ import annotations
@@ -142,6 +146,33 @@ def cmd_faults(name: str, profile: str, out: str, devices: int, seed: int) -> in
     return 0 if report.ok else 1
 
 
+def cmd_bench(name: str, emit_json: bool, devices: int, iters: int | None, out_dir: str, tripwire: float | None) -> int:
+    from repro.bench.parallel import run_bench, summarize, write_report
+
+    if devices < 1:
+        print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
+        return 2
+    try:
+        report = run_bench(name, devices=devices, iters=iters)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(summarize(report))
+    if emit_json:
+        path = write_report(report, out_dir)
+        print(f"wrote {path}")
+    if tripwire is not None:
+        ratio = 1.0 / report.get("speedup_parallel", 1.0)
+        if ratio > tripwire:
+            print(
+                f"TRIPWIRE: parallel wall-clock is {ratio:.2f}x serial (limit {tripwire:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"tripwire ok: parallel is {ratio:.2f}x serial (limit {tripwire:.2f}x)")
+    return 0
+
+
 def cmd_info() -> int:
     import numpy
 
@@ -184,6 +215,18 @@ def main(argv: list[str] | None = None) -> int:
     fl.add_argument("-o", "--output", default="recovery.json", help="Chrome trace JSON output path")
     fl.add_argument("--devices", type=int, default=3, help="simulated device count (default 3)")
     fl.add_argument("--seed", type=int, default=1234, help="FaultPlan seed (default 1234)")
+    bn = sub.add_parser("bench", help="serial-vs-parallel miniature benchmark")
+    bn.add_argument("name", help="bench workload: lbm or poisson")
+    bn.add_argument("--json", action="store_true", help="write BENCH_<name>.json")
+    bn.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
+    bn.add_argument("--iters", type=int, default=None, help="timed iterations (default per bench)")
+    bn.add_argument("-o", "--out-dir", default=".", help="directory for BENCH_*.json (default .)")
+    bn.add_argument(
+        "--tripwire",
+        type=float,
+        default=None,
+        help="fail (exit 1) if parallel wall-clock exceeds this multiple of serial",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -195,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_trace(args.name, args.output, args.devices)
     if args.command == "faults":
         return cmd_faults(args.name, args.profile, args.output, args.devices, args.seed)
+    if args.command == "bench":
+        return cmd_bench(args.name, args.json, args.devices, args.iters, args.out_dir, args.tripwire)
     return cmd_info()
 
 

@@ -1,9 +1,27 @@
-"""Small harness utilities shared by the per-table/figure benchmarks."""
+"""Small harness utilities shared by the per-table/figure benchmarks.
+
+Besides the text-table helpers the benchmarks print, this module owns
+the machine-readable result format: :func:`write_bench_json` emits a
+``BENCH_<exp>.json`` document (schema ``repro-bench/1``) recording the
+experiment id, its parameters, the runtime environment (python / numpy
+versions, usable CPU core count — essential context for wall-clock
+numbers), and one entry per measured configuration with wall-clock
+seconds, simulated makespan, and MLUPS.  CI uploads these artifacts so
+the perf trajectory of the repo is diffable across commits.
+"""
 
 from __future__ import annotations
 
+import datetime
+import json
+import os
+import pathlib
+import platform
+import sys
 import time
 from collections.abc import Callable, Iterable
+
+BENCH_SCHEMA = "repro-bench/1"
 
 
 def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -45,3 +63,49 @@ def wall_time(fn: Callable[[], None], repeats: int = 3, warmup: int = 1) -> floa
 def sweep(values: Iterable, fn: Callable) -> list:
     """Evaluate ``fn`` over a parameter axis, returning [(value, result)]."""
     return [(v, fn(v)) for v in values]
+
+
+def usable_cpu_count() -> int:
+    """CPU cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def bench_env() -> dict:
+    """Runtime context stamped into every benchmark document.
+
+    Wall-clock numbers are meaningless without it: a thread-per-device
+    engine cannot beat serial replay on a single usable core, so
+    ``cpu_count`` is the first thing a reader (or CI tripwire) must
+    check before comparing modes.
+    """
+    import numpy
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "cpu_count": usable_cpu_count(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def write_bench_json(path, exp: str, params: dict, results: list[dict]) -> pathlib.Path:
+    """Write one ``BENCH_<exp>.json`` document and return its path.
+
+    ``results`` entries carry at least ``label`` plus whichever of
+    ``wall_clock_s`` / ``sim_makespan_s`` / ``mlups`` the experiment
+    measures; extra keys pass through untouched.
+    """
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "exp": exp,
+        "params": params,
+        "env": bench_env(),
+        "results": results,
+    }
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return out

@@ -1,0 +1,149 @@
+"""Serial-vs-parallel miniature benchmarks behind ``python -m repro bench``.
+
+These are small *really-executed* workloads (no virtual planning-only
+domains): each runs the same compiled skeletons in both modes, measures
+best-of-``REPEATS`` wall-clock over a fixed iteration count (single
+timings on a shared host are too noisy to gate CI on), and reports the
+DES makespan of one iteration alongside, so the document shows both the
+measured host time and the modelled device time.
+
+Caveat recorded in every document's ``env.cpu_count``: the parallel
+engine's speedup comes from NumPy kernels releasing the GIL across
+per-device worker threads, so it needs multiple usable cores.  On a
+single-core machine parallel mode measures pure engine overhead; the CI
+tripwire bounds that overhead (parallel <= ``tripwire`` x serial) rather
+than asserting a speedup it cannot deliver there.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .harness import usable_cpu_count, write_bench_json
+from .metrics import mlups
+
+MODES = ("serial", "parallel")
+REPEATS = 3  # best-of-N: single timings on a shared/loaded host swing widely
+
+
+def _best_wall(run_once, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_once()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_lbm(devices: int, iters: int, shape, mode: str) -> dict:
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+
+    cavity = LidDrivenCavity(Backend.sim_gpus(devices), shape)
+    cavity.step(2, mode=mode)  # warm-up: compile + freeze both parity programs
+    wall = _best_wall(lambda: cavity.step(iters, mode=mode))
+    return {
+        "label": f"lbm-{mode}",
+        "mode": mode,
+        "wall_clock_s": wall,
+        "sim_makespan_s": cavity.iteration_makespan() * iters,
+        "mlups": mlups(cavity.grid.num_active, iters, wall),
+    }
+
+
+def _bench_poisson(devices: int, iters: int, shape, mode: str) -> dict:
+    import numpy as np
+
+    from repro.solvers.poisson import PoissonSolver
+    from repro.system import Backend
+
+    solver = PoissonSolver(Backend.sim_gpus(devices), shape)
+    # constant rhs (the fig8 idiom): it excites many Laplacian eigenmodes,
+    # so CG sustains full iterations instead of converging in two Krylov
+    # steps the way the eigen-sparse manufactured problem does
+    solver.set_rhs(lambda z, y, x: np.ones(z.shape, dtype=np.float64))
+    solver.cg.mode = mode
+    solver.cg.begin(tolerance=1e-12)  # compiles + freezes the init program
+    solver.cg.iterate()  # warm-up: freezes the two iteration programs
+
+    done = iters
+
+    def run_once() -> None:
+        nonlocal done
+        # restart from the current iterate: each repeat times an
+        # identical n-iteration Krylov stretch (CG restarts soundly)
+        solver.cg.begin(tolerance=1e-12)
+        before = solver.cg.result.iterations
+        for _ in range(iters):
+            if solver.cg.iterate():
+                break
+        done = max(solver.cg.result.iterations - before, 1)
+
+    wall = _best_wall(run_once)
+    return {
+        "label": f"poisson-{mode}",
+        "mode": mode,
+        "wall_clock_s": wall,
+        "sim_makespan_s": solver.iteration_makespan() * done,
+        "mlups": mlups(solver.grid.num_active, done, wall),
+        "iterations_run": done,
+    }
+
+
+BENCHES = {
+    "lbm": (_bench_lbm, (24, 24, 24), 20, "4-device LBM D3Q19 lid-driven cavity miniature"),
+    "poisson": (_bench_poisson, (48, 48, 48), 20, "4-device Poisson CG miniature"),
+}
+
+
+def run_bench(
+    exp: str,
+    devices: int = 4,
+    iters: int | None = None,
+    modes: tuple[str, ...] = MODES,
+) -> dict:
+    """Run one miniature in each requested mode; return the report dict.
+
+    The report carries the per-mode measurements plus, when both modes
+    ran, ``speedup_parallel`` (serial wall-clock / parallel wall-clock —
+    above 1.0 means parallel won).
+    """
+    if exp not in BENCHES:
+        supported = ", ".join(sorted(BENCHES))
+        raise KeyError(f"no parallel-mode bench for '{exp}'; supported: {supported}")
+    fn, shape, default_iters, description = BENCHES[exp]
+    iters = default_iters if iters is None else iters
+    results = [fn(devices, iters, shape, mode) for mode in modes]
+    report = {
+        "exp": exp,
+        "description": description,
+        "params": {"devices": devices, "iters": iters, "shape": list(shape), "modes": list(modes)},
+        "results": results,
+    }
+    walls = {r["mode"]: r["wall_clock_s"] for r in results}
+    if "serial" in walls and "parallel" in walls and walls["parallel"] > 0:
+        report["speedup_parallel"] = walls["serial"] / walls["parallel"]
+    return report
+
+
+def write_report(report: dict, out_dir=".") -> str:
+    """Persist a :func:`run_bench` report as ``BENCH_<exp>.json``."""
+    import pathlib
+
+    path = pathlib.Path(out_dir) / f"BENCH_{report['exp']}.json"
+    extra = {k: report[k] for k in ("description", "speedup_parallel") if k in report}
+    params = dict(report["params"], **extra)
+    return str(write_bench_json(path, report["exp"], params, report["results"]))
+
+
+def summarize(report: dict) -> str:
+    """Human-readable one-screen summary of a bench report."""
+    lines = [f"{report['exp']}: {report['description']}", f"  usable cores: {usable_cpu_count()}"]
+    for r in report["results"]:
+        lines.append(
+            f"  {r['mode']:<8} wall {r['wall_clock_s']:8.3f} s   "
+            f"sim {r['sim_makespan_s']:.3e} s   {r['mlups']:7.2f} MLUPS"
+        )
+    if "speedup_parallel" in report:
+        lines.append(f"  parallel speedup over serial: {report['speedup_parallel']:.2f}x")
+    return "\n".join(lines)

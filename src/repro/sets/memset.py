@@ -114,9 +114,10 @@ class MemSet(MultiDeviceData):
     def update_device(self, rank: int, queue: CommandQueue) -> None:
         """Enqueue a host->device transfer for one partition."""
         src, dst = self.host_slice(rank), self.buffers[rank].array
+        pool, dev = self.backend.staging, self.backend.device(rank)
 
-        def do(src=src, dst=dst):
-            np.copyto(dst, src)
+        def do(src=src, dst=dst, pool=pool, dev=dev):
+            pool.staged_copy(dev, dst, src)
 
         queue.enqueue_copy(
             f"h2d:{self.name}[{rank}]",
@@ -130,9 +131,10 @@ class MemSet(MultiDeviceData):
     def update_host(self, rank: int, queue: CommandQueue) -> None:
         """Enqueue a device->host transfer for one partition."""
         src, dst = self.buffers[rank].array, self.host_slice(rank)
+        pool, dev = self.backend.staging, self.backend.device(rank)
 
-        def do(src=src, dst=dst):
-            np.copyto(dst, src)
+        def do(src=src, dst=dst, pool=pool, dev=dev):
+            pool.staged_copy(dev, dst, src)
 
         queue.enqueue_copy(
             f"d2h:{self.name}[{rank}]",

@@ -4,11 +4,18 @@ Straightforward vectors over device rank: a multi-GPU Stream holds one
 command queue per device, a multi-GPU Event one event per device.  Users
 *can* drive these manually (Set-level programming); the Skeleton manages
 them automatically.
+
+Set-level code gets the same two execution paths the Skeleton has: eager
+streams run each command inline at enqueue (host-ordered), while a
+*recorded* stream (``eager=False``) can be replayed concurrently through
+:meth:`MultiStream.execute_parallel` — one worker thread per device,
+cross-device dependencies enforced purely by the
+:class:`MultiEvent` record/wait wiring the user laid down.
 """
 
 from __future__ import annotations
 
-from repro.system import Backend, CommandQueue, Event
+from repro.system import Backend, CommandQueue, Event, ParallelEngine
 
 
 class MultiStream:
@@ -35,6 +42,18 @@ class MultiStream:
 
     def __iter__(self):
         return iter(self.queues)
+
+    def execute_parallel(self, engine: ParallelEngine | None = None) -> None:
+        """Replay the recorded commands with one worker thread per device.
+
+        Meant for streams created with ``eager=False``: the queues hold
+        the recorded program, and cross-queue ordering comes only from
+        the event wiring (e.g. :meth:`MultiEvent.record_all` /
+        :meth:`MultiEvent.wait_all`), so a correct result demonstrates
+        the synchronisation is sufficient.  Replaying an *eager* stream
+        runs every command a second time — almost never what you want.
+        """
+        (engine or ParallelEngine()).execute(self.queues)
 
 
 class MultiEvent:

@@ -12,12 +12,13 @@ from .depgraph import (
 from .executor import DependencyViolation, check_trace_dependencies, simulate_result
 from .mgraph import build_multi_gpu_graph, expand_with_halo_nodes
 from .occ import Occ, OccReport, apply_occ
-from .scheduler import ExecutionResult, Plan, ScheduleStats
+from .scheduler import CompiledProgram, ExecutionResult, Plan, ScheduleStats
 from .skeleton import Skeleton
 from .unroll import steady_state_iteration_time, unroll, unrolled_skeleton
 from .viz import graph_to_dot
 
 __all__ = [
+    "CompiledProgram",
     "DepGraph",
     "DepKind",
     "DependencyViolation",

@@ -95,13 +95,63 @@ def simulate_result(result: ExecutionResult, machine: MachineSpec | None = None)
     return simulate(result.queues, machine)
 
 
+_SCAN_CHUNK_ELEMS = 1 << 18  # ~2 MiB of float64 per isfinite temporary
+
+
+def _chunked_all_finite(arr: np.ndarray) -> bool:
+    """Whether every element of ``arr`` is finite, scanned chunk-wise.
+
+    Slices along the leading axis in ~:data:`_SCAN_CHUNK_ELEMS`-element
+    blocks so the ``isfinite`` temporary stays small and the scan bails
+    out at the first corrupt block, instead of materialising (and fully
+    reducing) a whole-field copy.
+    """
+    if arr.size == 0:
+        return True
+    if arr.ndim == 0:
+        return bool(np.isfinite(arr))
+    step = max(1, _SCAN_CHUNK_ELEMS * arr.shape[0] // max(arr.size, 1))
+    for i in range(0, arr.shape[0], step):
+        if not np.isfinite(arr[i : i + step]).all():
+            return False
+    return True
+
+
+def _owned_views(data):
+    """Per-device owned views of a Field-like object, without copies.
+
+    Falls back to ``to_numpy()`` (one global copy) for written data that
+    exposes a global view but no per-rank partitions.
+    """
+    partition = getattr(data, "partition", None)
+    grid = getattr(data, "grid", None)
+    span_for = getattr(grid, "span_for", None)
+    if callable(partition) and callable(span_for):
+        from repro.sets import DataView  # noqa: PLC0415 - avoid import cycle at module load
+
+        for rank in range(data.num_devices):
+            part = partition(rank)
+            view_all = getattr(part, "view_all", None)
+            if not callable(view_all):
+                break
+            yield view_all(span_for(rank, DataView.STANDARD))
+        else:
+            return
+        yield data.to_numpy()
+    else:
+        yield data.to_numpy()
+
+
 def scan_non_finite(containers) -> list[str]:
     """Names of written fields holding NaN/Inf after an execution.
 
     Only data the containers declare as written is scanned — read-only
     inputs with legitimate sentinel values never trip the guardrail, and
     the scan cost stays proportional to the state the step could have
-    corrupted.
+    corrupted.  Fields are scanned per-device over their owned views,
+    chunk-wise with early exit, so the guardrail never materialises a
+    field-sized host copy (the old ``to_numpy()`` path) and stops at the
+    first corrupt chunk.
     """
     bad: list[str] = []
     seen: set[int] = set()
@@ -111,20 +161,19 @@ def scan_non_finite(containers) -> list[str]:
             if not tok.access.writes or id(data) in seen:
                 continue
             seen.add(id(data))
-            # Fields are scanned through their global view: owned cells are
-            # exactly what a checkpoint restore rewrites, so every NaN this
-            # scan can see is one a rollback can clear.  Raw-buffer slack
-            # (halo slots, alignment padding) is excluded — kernels never
-            # read padding, and halos are refreshed on restore.
+            # Owned cells are exactly what a checkpoint restore rewrites,
+            # so every NaN this scan can see is one a rollback can clear.
+            # Raw-buffer slack (halo slots, alignment padding) is excluded
+            # — kernels never read padding, and halos are refreshed on
+            # restore.
             to_numpy = getattr(data, "to_numpy", None)
             if callable(to_numpy) and not getattr(data, "virtual", False):
-                arr = to_numpy()
-                if arr.size and not np.isfinite(arr).all():
+                if not all(_chunked_all_finite(view) for view in _owned_views(data)):
                     bad.append(data.name)
                 continue
             for buf in getattr(data, "buffers", None) or []:
                 arr = buf.array
-                if arr is not None and arr.size and not np.isfinite(arr).all():
+                if arr is not None and arr.size and not _chunked_all_finite(arr):
                     bad.append(data.name)
                     break
     return bad

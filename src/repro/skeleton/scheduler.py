@@ -24,6 +24,8 @@ flow through to its consumers.
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro import observability as _obs
@@ -31,7 +33,8 @@ from repro import resilience as _res
 from repro.sets import Container, DataView, ReduceMode
 from repro.sets.launch import wrap_kernel_faults
 from repro.sets.loader import Loader
-from repro.system import Backend, CommandQueue, Event
+from repro.system import Backend, Command, CommandQueue, Event, ParallelEngine, ParallelFallbackWarning
+from repro.system.queue import _site_name
 
 from .depgraph import DepGraph, GraphNode, NodeKind, Scope
 
@@ -58,42 +61,64 @@ class ExecutionResult:
     plan: "Plan"
 
 
-def _launch_compute_piece(
-    container: Container,
-    queue: CommandQueue,
-    rank: int,
-    view: DataView,
-    reduce_mode: ReduceMode,
-    label: str,
-) -> bool:
-    """Enqueue one rank's view-restricted launch of a container."""
-    span = container.index_data.span_for(rank, view)
-    if span.is_empty:
-        return False
-    cost = container.cost_for(rank, view)
-    if getattr(container.index_data, "virtual", False):
-        kernel = lambda: None  # noqa: E731 - timing-only record
-    else:
-        loader = Loader(rank=rank, view=view, reduce_mode=reduce_mode)
-        compute = container.loading(loader)
+@dataclass
+class _Step:
+    """One replayable kernel or copy of a compiled program.
 
-        def kernel(compute=compute, span=span):
-            for piece in span.pieces():
-                compute(piece)
+    Everything a replay needs is resolved at freeze time: the target
+    queue, the observability span arguments, and the resilience
+    injection-site key (computed with the same :func:`_site_name`
+    normalisation the eager enqueue path used, so seeded fault plans
+    reproduce identically across the refactor).
+    """
 
-        if _res.RES.active:
-            kernel = wrap_kernel_faults(kernel, container.name, container.tokens(), rank)
+    kind: str  # "kernel" | "copy"
+    queue: CommandQueue
+    label: str
+    pid: str
+    site: str
+    ranks: tuple[int, ...]
+    command: Command | None = None
+    # kernel steps only
+    container: Container | None = None
+    rank: int = -1
+    virtual: bool = False
+    # copy steps only
+    msg: object | None = None
 
-    queue.enqueue_kernel(label, kernel, cost)
-    return True
+
+@dataclass
+class CompiledProgram:
+    """A frozen stream/event schedule, replayable without re-derivation.
+
+    Queues, commands and events are created exactly once; every
+    ``Plan.execute()`` replays the same objects.  Event *signals* are
+    runtime state reset per parallel replay; the recording metadata and
+    dependency wiring never change.
+    """
+
+    queues: list[CommandQueue]
+    steps: list[_Step]
+    step_of: dict[Command, _Step]
+    events: dict[PieceKey, Event]
+    stats: ScheduleStats
 
 
 class Plan:
     """A compiled schedule for one multi-GPU graph on one backend.
 
-    ``execute()`` replays the schedule: it creates fresh queues/events,
-    enqueues every piece with its event wiring, and (on an eager backend)
-    thereby runs the computation.  The returned queues feed the DES.
+    The stream mapping, piece dependencies and task order are derived
+    once in ``__init__``; the first ``execute()`` freezes them into a
+    :class:`CompiledProgram` (queues, commands, events, per-step replay
+    metadata), and every execution — including the first — replays that
+    program.  A 1000-iteration solver loop therefore pays the graph and
+    enqueue cost once, not per iteration.
+
+    ``execute(mode="serial")`` replays on the host in task-list order
+    (exact historical semantics); ``mode="parallel"`` hands the frozen
+    queues to a :class:`~repro.system.ParallelEngine`, which runs one
+    worker thread per device and honours only the recorded stream/event
+    wiring.  The returned queues feed the DES either way.
     """
 
     def __init__(self, graph: DepGraph, backend: Backend, reuse_parent_streams: bool = True):
@@ -116,6 +141,8 @@ class Plan:
         self._build_raw_deps()
         self._deps: dict[PieceKey, set[PieceKey]] = {}
         self._resolve_empty_pieces()
+        self._program: CompiledProgram | None = None
+        self._engine: ParallelEngine | None = None
 
     # -- phase a: stream mapping ----------------------------------------------
     def _assign_streams(self) -> None:
@@ -238,15 +265,39 @@ class Plan:
         """Effective (non-empty) dependency pieces of a piece."""
         return set(self._deps.get(piece, ()))
 
-    # -- phase c: execution in task-list order --------------------------------
-    def execute(self, eager: bool = True) -> ExecutionResult:
-        with _obs.span("plan.execute", cat="phase", eager=eager):
-            return self._execute(eager=eager)
+    # -- compilation to a frozen program --------------------------------------
+    @staticmethod
+    def _make_kernel_fn(
+        container: Container, rank: int, view: DataView, reduce_mode: ReduceMode, span
+    ) -> Callable[[], None]:
+        """Build the replayable kernel closure for one compute piece.
 
-    def _execute(self, eager: bool) -> ExecutionResult:
+        The *loading* lambda runs inside the closure, per launch: scalar
+        parameters flow into containers through mutable cells read at
+        load time (see :mod:`repro.solvers.cg`), so freezing ``compute``
+        itself would pin iteration-0 scalars forever.
+        """
+
+        def kernel() -> None:
+            loader = Loader(rank=rank, view=view, reduce_mode=reduce_mode)
+            compute = container.loading(loader)
+            for piece in span.pieces():
+                compute(piece)
+
+        return kernel
+
+    def _compile_program(self) -> CompiledProgram:
+        """Freeze the schedule: queues, commands, events, replay steps.
+
+        Runs once, lazily, on the first ``execute()``.  All queues are
+        recorded (``eager=False``) — nothing computes here; the per-step
+        metadata produced is what both replay modes consume.
+        """
         stats = ScheduleStats(num_streams=self.num_streams)
         queues: dict[tuple, CommandQueue] = {}
         events: dict[PieceKey, Event] = {}
+        steps: list[_Step] = []
+        step_of: dict[Command, _Step] = {}
 
         # precompute which producer pieces need completion events
         needs_event: set[PieceKey] = set()
@@ -266,7 +317,7 @@ class Plan:
                 else:
                     _, uid, direction, rank = qkey
                     name = f"h{uid}.{direction}[{rank}]"
-                queues[qkey] = self.backend.new_queue(rank, name=name, eager=eager)
+                queues[qkey] = self.backend.new_queue(rank, name=name, eager=False)
             return queues[qkey]
 
         for node in self.order:
@@ -284,39 +335,145 @@ class Plan:
                 kind, uid, idx = piece
                 if kind == "c":
                     label = f"{node.name}[{idx}]"
-                    with _obs.span(label, cat="kernel", pid=f"device{idx}", tid=q.name):
-                        _launch_compute_piece(node.container, q, idx, node.view, node.reduce_mode, label)
-                    stats.num_kernels += 1
                     cost = node.container.cost_for(idx, node.view)
+                    virtual = bool(getattr(node.container.index_data, "virtual", False))
+                    if virtual:
+                        fn = lambda: None  # noqa: E731 - timing-only record
+                    else:
+                        fn = self._make_kernel_fn(
+                            node.container,
+                            idx,
+                            node.view,
+                            node.reduce_mode,
+                            node.container.index_data.span_for(idx, node.view),
+                        )
+                    cmd = q.enqueue_kernel(label, fn, cost)
+                    step = _Step(
+                        kind="kernel",
+                        queue=q,
+                        label=label,
+                        pid=f"device{idx}",
+                        site=f"{_site_name(label)}@{idx}",
+                        ranks=(idx,),
+                        command=cmd,
+                        container=node.container,
+                        rank=idx,
+                        virtual=virtual,
+                    )
+                    stats.num_kernels += 1
                     stats.kernel_bytes += cost.bytes_moved
                     stats.kernel_flops += cost.flops
                 else:
                     msg = self._halo_msgs[uid][idx]
                     # node uid disambiguates repeated halo updates of one field
-                    with _obs.span(
-                        f"{msg.name}#{uid}",
-                        cat="copy",
+                    name = f"{msg.name}#{uid}"
+                    cmd = q.enqueue_copy(
+                        name,
+                        msg.fn,
+                        self.backend.device(msg.src_rank),
+                        self.backend.device(msg.dst_rank),
+                        msg.nbytes,
+                    )
+                    step = _Step(
+                        kind="copy",
+                        queue=q,
+                        label=name,
                         pid=f"device{msg.src_rank}",
-                        tid=q.name,
-                        nbytes=msg.nbytes,
-                    ):
-                        q.enqueue_copy(
-                            f"{msg.name}#{uid}",
-                            msg.fn,
-                            self.backend.device(msg.src_rank),
-                            self.backend.device(msg.dst_rank),
-                            msg.nbytes,
-                        )
-                    if _obs.OBS.active:
-                        m = _obs.OBS.metrics
-                        m.counter("halo_bytes_sent", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc(msg.nbytes)
-                        m.counter("halo_messages", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc()
+                        site=f"{_site_name(name)}@{msg.src_rank}->{msg.dst_rank}",
+                        ranks=(msg.src_rank, msg.dst_rank),
+                        command=cmd,
+                        msg=msg,
+                    )
                     stats.num_copies += 1
                     stats.copy_bytes += msg.nbytes
+                steps.append(step)
+                step_of[cmd] = step
                 if piece in needs_event:
                     ev = Event(f"{node.name}:{idx}")
                     q.record_event(ev)
                     events[piece] = ev
                     stats.num_events += 1
 
-        return ExecutionResult(queues=list(queues.values()), stats=stats, plan=self)
+        return CompiledProgram(
+            queues=list(queues.values()), steps=steps, step_of=step_of, events=events, stats=stats
+        )
+
+    def _ensure_program(self) -> CompiledProgram:
+        if self._program is None:
+            with _obs.span("plan.compile_program", cat="phase"):
+                self._program = self._compile_program()
+        return self._program
+
+    # -- replay ----------------------------------------------------------------
+    def _run_step(self, step: _Step) -> None:
+        """Execute one frozen step with observability + resilience applied.
+
+        Shared by both replay modes; in parallel mode it runs on the
+        worker thread of the step's device (the tracer and metrics
+        registry are thread-safe).
+        """
+        if step.kind == "kernel":
+            with _obs.span(step.label, cat="kernel", pid=step.pid, tid=step.queue.name):
+                fn = step.command.fn
+                if _res.RES.active:
+                    if not step.virtual:
+                        fn = wrap_kernel_faults(fn, step.container.name, step.container.tokens(), step.rank)
+                    # launch-fault injection site: loss check + retry/backoff
+                    _res.execute_command("launch", step.site, step.ranks, fn)
+                else:
+                    fn()
+        else:
+            msg = step.msg
+            with _obs.span(step.label, cat="copy", pid=step.pid, tid=step.queue.name, nbytes=msg.nbytes):
+                if _res.RES.active:
+                    # copy-fault injection site: both endpoints are loss-checked
+                    _res.execute_command("copy", step.site, step.ranks, msg.fn)
+                else:
+                    msg.fn()
+            if _obs.OBS.active:
+                m = _obs.OBS.metrics
+                m.counter("halo_bytes_sent", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc(msg.nbytes)
+                m.counter("halo_messages", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc()
+
+    def _replay_serial(self, program: CompiledProgram) -> None:
+        """Host-ordered replay: every step in task-list order (historical)."""
+        for step in program.steps:
+            self._run_step(step)
+
+    def _replay_parallel(self, program: CompiledProgram) -> None:
+        """Engine replay: one worker per device, event-wired synchronisation."""
+        if self._engine is None:
+            self._engine = ParallelEngine()
+        self._engine.execute(program.queues, run_command=lambda cmd: self._run_step(program.step_of[cmd]))
+
+    # -- phase c: execution -----------------------------------------------------
+    def execute(self, eager: bool = True, mode: str = "serial") -> ExecutionResult:
+        """Replay the compiled program (freezing it on first use).
+
+        ``eager=False`` returns the recorded queues without running any
+        kernel (timing-only).  ``mode="serial"`` replays on the host in
+        task-list order; ``mode="parallel"`` uses the per-device worker
+        engine.  An armed resilience session forces serial replay with a
+        :class:`~repro.system.ParallelFallbackWarning`, because rollback-
+        and-replay recovery assumes host-ordered execution.
+        """
+        if mode not in ("serial", "parallel"):
+            raise ValueError(f"unknown execution mode {mode!r}; expected 'serial' or 'parallel'")
+        with _obs.span("plan.execute", cat="phase", eager=eager, mode=mode):
+            program = self._ensure_program()
+            if eager:
+                if mode == "parallel" and _res.RES.active:
+                    warnings.warn(
+                        "resilience session is armed: rollback-and-replay recovery assumes "
+                        "host-ordered replay; falling back to mode='serial'",
+                        ParallelFallbackWarning,
+                        stacklevel=2,
+                    )
+                    mode = "serial"
+                if mode == "parallel":
+                    self._replay_parallel(program)
+                else:
+                    self._replay_serial(program)
+                if _obs.OBS.active:
+                    _obs.OBS.metrics.counter("plan_replays", mode=mode).inc()
+            return ExecutionResult(queues=list(program.queues), stats=program.stats, plan=self)

@@ -51,10 +51,25 @@ class Skeleton:
             _obs.OBS.metrics.counter("skeletons_compiled", occ=occ.value).inc()
         self.last_result: ExecutionResult | None = None
 
-    def run(self) -> ExecutionResult:
-        """Execute once on the backend's devices; results land in the fields."""
+    def run(self, mode: str = "serial") -> ExecutionResult:
+        """Execute once on the backend's devices; results land in the fields.
+
+        ``mode="serial"`` (default) replays the compiled program on the
+        host in task-list order — the exact historical semantics.
+        ``mode="parallel"`` replays through the
+        :class:`~repro.system.ParallelEngine`: one worker thread per
+        device, synchronised only by the recorded stream/event wiring
+        (bitwise-identical results, concurrent wall-clock).  While a
+        resilience session is armed the plan forces serial replay and
+        emits a :class:`~repro.system.ParallelFallbackWarning`, since
+        rollback-and-replay recovery assumes host-ordered execution.
+
+        Either way the schedule itself is frozen after the first call:
+        repeated ``run()`` re-derives no dependencies and allocates no
+        queues or events.
+        """
         with _obs.span(f"skeleton.run:{self.name}", cat="phase", skeleton=self.name):
-            self.last_result = self.plan.execute(eager=True)
+            self.last_result = self.plan.execute(eager=True, mode=mode)
             if _res.RES.active:
                 enforce_divergence_guardrail(self.containers, self.name)
         return self.last_result

@@ -90,10 +90,14 @@ class ConjugateGradient:
         x,
         occ: Occ = Occ.STANDARD,
         name: str = "cg",
+        mode: str = "serial",
     ):
         self.grid = grid
         self.b = b
         self.x = x
+        # execution mode for every skeleton run: "serial" or "parallel"
+        # (host scalar updates between skeletons stay sequential either way)
+        self.mode = mode
         backend = grid.backend
         card = x.cardinality
         self.r = grid.new_field(f"{name}_r", cardinality=card)
@@ -151,7 +155,7 @@ class ConjugateGradient:
         """
         self._rr_read = ops.ScalarResult(self.rr_partial)
         self._pq_read = ops.ScalarResult(self.pq_partial)
-        self.sk_init.run()
+        self.sk_init.run(mode=self.mode)
         delta = self._rr_read.value()
         norm0 = float(np.sqrt(delta))
         self.result = CGResult(converged=False, iterations=0, residual_norms=[norm0])
@@ -174,7 +178,7 @@ class ConjugateGradient:
         result = self.result
         if result.converged:
             return True
-        self.sk_a.run()
+        self.sk_a.run(mode=self.mode)
         pq = self._pq_read.value()
         if not np.isfinite(pq):
             result.residual_norms.append(float("nan"))
@@ -183,7 +187,7 @@ class ConjugateGradient:
             raise RuntimeError(f"operator is not positive definite: <p, Ap> = {pq}")
         self.alpha["v"] = self._delta / pq
         self.neg_alpha["v"] = -self.alpha["v"]
-        self.sk_b.run()
+        self.sk_b.run(mode=self.mode)
         delta_new = self._rr_read.value()
         norm = float(np.sqrt(delta_new))
         result.residual_norms.append(norm)

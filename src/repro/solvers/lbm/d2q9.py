@@ -151,9 +151,9 @@ class KarmanVortexStreet:
     def current(self):
         return self.f[self._parity]
 
-    def step(self, iterations: int = 1) -> None:
+    def step(self, iterations: int = 1, mode: str = "serial") -> None:
         for _ in range(iterations):
-            self.skeletons[self._parity].run()
+            self.skeletons[self._parity].run(mode=mode)
             self._parity = 1 - self._parity
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:

@@ -141,9 +141,9 @@ class LidDrivenCavity:
         """The field holding the latest post-collision populations."""
         return self.f[self._parity]
 
-    def step(self, iterations: int = 1) -> None:
+    def step(self, iterations: int = 1, mode: str = "serial") -> None:
         for _ in range(iterations):
-            self.skeletons[self._parity].run()
+            self.skeletons[self._parity].run(mode=mode)
             self._parity = 1 - self._parity
 
     # -- resilience hooks ---------------------------------------------------

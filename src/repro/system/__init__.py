@@ -2,7 +2,8 @@
 
 from .backend import Backend
 from .device import HOST, Device, DeviceSet, DeviceType
-from .memory import AllocationError, DeviceAllocator, DeviceBuffer, MemOptions
+from .engine import EngineDeadlock, ParallelEngine, ParallelFallbackWarning
+from .memory import AllocationError, DeviceAllocator, DeviceBuffer, MemOptions, StagingPool
 from .queue import (
     Command,
     CommandQueue,
@@ -26,10 +27,14 @@ __all__ = [
     "DeviceBuffer",
     "DeviceSet",
     "DeviceType",
+    "EngineDeadlock",
     "Event",
     "KernelCommand",
     "KernelCost",
     "MemOptions",
+    "ParallelEngine",
+    "ParallelFallbackWarning",
     "RecordEventCommand",
+    "StagingPool",
     "WaitEventCommand",
 ]

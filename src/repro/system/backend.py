@@ -12,7 +12,7 @@ from repro import observability as _obs
 from repro.sim.machine import MachineSpec, cpu_host, dgx_a100
 
 from .device import Device, DeviceSet, DeviceType
-from .memory import DeviceAllocator, MemOptions
+from .memory import DeviceAllocator, MemOptions, StagingPool
 from .queue import CommandQueue
 
 
@@ -32,6 +32,7 @@ class Backend:
             self.machine = self.machine.with_devices(len(devices))
         self.allocator = DeviceAllocator(capacity_bytes=memory_capacity)
         self.mem_options = mem_options or MemOptions()
+        self.staging = StagingPool()
 
     @classmethod
     def sim_gpus(cls, count: int, machine: MachineSpec | None = None, **kw) -> "Backend":

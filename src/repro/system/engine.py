@@ -1,0 +1,235 @@
+"""Concurrent functional execution: one worker thread per device.
+
+The functional plane historically ran every kernel inline on the host in
+task-list order — correct, but serial, so ``run()`` wall-clock scaled
+with total work rather than with the critical path the paper's OCC
+schedules are designed to shorten.  This module replays *recorded*
+command queues with one worker thread per simulated device (NumPy
+kernels release the GIL, the standard parallelism mechanism in
+NumPy-backed runtimes), turning ``RecordEventCommand`` /
+``WaitEventCommand`` into real cross-thread synchronisation.
+
+The engine honours exactly the stream/event wiring:
+
+* all queues of one device are merged into a single per-device program
+  ordered by ``Command.issue_seq`` (the host task-list order projected
+  onto that device — this mirrors the DES machine model, which also
+  serialises kernels through one compute engine per device);
+* a ``WaitEventCommand`` blocks the worker until the event's signal is
+  set; a ``RecordEventCommand`` sets it; kernel and copy commands run
+  through a caller-supplied ``run_command`` callback (default: call the
+  command's ``fn``).
+
+No host-order crutch is consulted between devices, so a bitwise-correct
+parallel run is a live proof that the Plan's synchronisation alone
+enforces every dependency — the executor's checker claim
+(:func:`repro.skeleton.executor.check_trace_dependencies`), exercised
+for real.
+
+Deadlock-freedom within the supported usage: the Skeleton enqueues in a
+topological order where every event record precedes all of its waits in
+``issue_seq``; take the blocked wait with the smallest ``issue_seq`` —
+its record has a smaller seq on another device, whose worker must then
+be blocked at an even smaller wait, a contradiction.  Hand-built
+schedules that violate record-before-wait host order are caught by a
+pre-flight check (waits on events never recorded in the batch) and a
+watchdog timeout.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from collections.abc import Callable
+
+from .queue import Command, CommandQueue, CopyCommand, KernelCommand, RecordEventCommand, WaitEventCommand
+
+
+class EngineDeadlock(RuntimeError):
+    """A worker blocked on an event that can no longer be signalled."""
+
+
+class ParallelFallbackWarning(UserWarning):
+    """Parallel execution was requested but the engine fell back to serial.
+
+    Raised as a *warning* (not an error) because the fallback preserves
+    semantics exactly; the typed class lets callers and tests assert the
+    degradation happened (e.g. resilience forcing host-ordered replay).
+    """
+
+
+class _Worker:
+    """A persistent per-device thread draining a job inbox.
+
+    Jobs are zero-argument callables that never raise (the engine wraps
+    each batch so errors are collected and the completion latch is
+    always released); ``None`` is the shutdown sentinel.
+    """
+
+    def __init__(self, name: str):
+        self.inbox: _queue.SimpleQueue = _queue.SimpleQueue()
+        self.thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self.thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            job = self.inbox.get()
+            if job is None:
+                return
+            job()
+
+    def submit(self, job: Callable[[], None]) -> None:
+        self.inbox.put(job)
+
+    def stop(self) -> None:
+        self.inbox.put(None)
+
+
+class ParallelEngine:
+    """Replays recorded command queues with one worker thread per device.
+
+    Workers are *persistent*: the first replay that touches a device
+    spawns its thread, and every later replay reuses it, so a
+    1000-iteration loop pays thread-creation cost once (the same
+    amortisation the compiled replay plans give the graph cost).  Keep
+    one engine and reuse it across replays of the same (or different)
+    queue sets; ``close()`` retires the workers (daemon threads, so
+    skipping it merely leaves idle threads until process exit).
+
+    Parameters
+    ----------
+    deadlock_timeout:
+        Seconds a worker may block on one event before the replay is
+        declared deadlocked.  Generous by default — it is a watchdog for
+        broken hand-built schedules, not a pacing mechanism.
+    """
+
+    def __init__(self, deadlock_timeout: float = 30.0):
+        if deadlock_timeout <= 0:
+            raise ValueError("deadlock_timeout must be positive")
+        self.deadlock_timeout = deadlock_timeout
+        self._workers: dict[int, _Worker] = {}
+        self._batch_lock = threading.Lock()  # one batch in flight per engine
+
+    def execute(
+        self,
+        queues: list[CommandQueue],
+        run_command: Callable[[Command], None] | None = None,
+    ) -> None:
+        """Run every command of ``queues`` on per-device worker threads.
+
+        ``run_command`` receives each :class:`KernelCommand` /
+        :class:`CopyCommand` (event commands are handled by the engine);
+        when omitted the command's own ``fn`` is called.  Exceptions in
+        any worker abort the replay and re-raise in the calling thread.
+        """
+        programs = self._build_programs(queues)
+        if not programs:
+            return
+        self._reset_and_check_events(programs)
+        if run_command is None:
+            run_command = self._default_run
+        if len(programs) == 1:
+            # single device: no cross-thread dependencies are possible,
+            # run inline and keep the exception story trivial
+            for cmd in next(iter(programs.values())):
+                self._step(cmd, run_command, abort=None)
+            return
+
+        abort = threading.Event()
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+        done = threading.Semaphore(0)
+
+        def make_job(program: list[Command]) -> Callable[[], None]:
+            def job() -> None:
+                try:
+                    for cmd in program:
+                        if abort.is_set():
+                            break
+                        self._step(cmd, run_command, abort)
+                except BaseException as exc:  # noqa: BLE001 - propagated to caller
+                    with errors_lock:
+                        errors.append(exc)
+                    abort.set()
+                finally:
+                    done.release()
+
+            return job
+
+        with self._batch_lock:
+            for dev_uid, program in sorted(programs.items()):
+                self._worker(dev_uid).submit(make_job(program))
+            for _ in programs:
+                done.acquire()
+        if errors:
+            raise errors[0]
+
+    def close(self) -> None:
+        """Retire every persistent worker thread (idempotent)."""
+        with self._batch_lock:
+            workers, self._workers = self._workers, {}
+        for w in workers.values():
+            w.stop()
+        for w in workers.values():
+            w.thread.join()
+
+    # -- internals ----------------------------------------------------------
+    def _worker(self, dev_uid: int) -> _Worker:
+        w = self._workers.get(dev_uid)
+        if w is None:
+            w = self._workers[dev_uid] = _Worker(f"engine-dev{dev_uid}")
+        return w
+
+    @staticmethod
+    def _build_programs(queues: list[CommandQueue]) -> dict[int, list[Command]]:
+        """Merge each device's queues into one issue-ordered program."""
+        programs: dict[int, list[Command]] = {}
+        for q in queues:
+            programs.setdefault(q.device.uid, []).extend(q.commands)
+        for program in programs.values():
+            program.sort(key=lambda cmd: cmd.issue_seq)
+        return programs
+
+    def _reset_and_check_events(self, programs: dict[int, list[Command]]) -> None:
+        recorded: set[int] = set()
+        waited: dict[int, Command] = {}
+        for program in programs.values():
+            for cmd in program:
+                if isinstance(cmd, RecordEventCommand):
+                    cmd.event.reset_signal()
+                    recorded.add(cmd.event.uid)
+                elif isinstance(cmd, WaitEventCommand):
+                    waited.setdefault(cmd.event.uid, cmd)
+        missing = [cmd for uid, cmd in waited.items() if uid not in recorded]
+        if missing:
+            names = ", ".join(cmd.name for cmd in missing[:5])
+            raise EngineDeadlock(
+                f"{len(missing)} wait(s) on events never recorded in this batch ({names}); "
+                "the replay would block forever"
+            )
+
+    def _step(self, cmd: Command, run_command: Callable[[Command], None], abort: threading.Event | None) -> None:
+        if isinstance(cmd, WaitEventCommand):
+            deadline = self.deadlock_timeout
+            # poll in short slices so an abort elsewhere unblocks us promptly
+            while not cmd.event.wait_signal(0.05):
+                if abort is not None and abort.is_set():
+                    return
+                deadline -= 0.05
+                if deadline <= 0:
+                    raise EngineDeadlock(
+                        f"worker stalled {self.deadlock_timeout:.0f}s on {cmd.name}; "
+                        "the recording queue made no progress"
+                    )
+        elif isinstance(cmd, RecordEventCommand):
+            cmd.event.signal()
+        else:
+            run_command(cmd)
+
+    @staticmethod
+    def _default_run(cmd: Command) -> None:
+        if isinstance(cmd, (KernelCommand, CopyCommand)):
+            cmd.fn()
+        else:  # pragma: no cover - future command kinds fail loudly
+            raise TypeError(f"parallel engine cannot execute {type(cmd).__name__}")

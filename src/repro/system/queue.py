@@ -4,20 +4,39 @@ This is the System-level contract the paper requires from any back end
 (section IV-A): asynchronous command queues per device (CUDA streams) and
 events to inject cross-queue dependencies (CUDA events).
 
-Two consumers share these objects:
+Three consumers share these objects, and the contract between them is
+worth spelling out:
 
-* the *functional* executor runs each kernel/copy eagerly at enqueue time
-  (the host issues commands in a dependency-respecting order, exactly as
-  the Skeleton's ordered task list guarantees in the paper), and
-* the *timing* simulator (:mod:`repro.sim.des`) replays the recorded
-  queues against a machine model, honouring only stream order and event
-  waits — which is also how the schedule validity checker proves the
-  generated synchronisation is sufficient.
+* the *eager* functional path runs each kernel/copy inline at enqueue
+  time (the host issues commands in a dependency-respecting order,
+  exactly as the Skeleton's ordered task list guarantees in the paper).
+  Events are pure markers here — the host order already serialises
+  everything;
+* the *recorded* path (``eager=False``) appends commands without running
+  them.  The timing simulator (:mod:`repro.sim.des`) replays recorded
+  queues against a machine model, honouring only stream FIFO order and
+  event waits — which is also how the schedule validity checker proves
+  the generated synchronisation is sufficient;
+* the *parallel engine* (:mod:`repro.system.engine`) replays recorded
+  queues with one worker thread per device.  Here
+  :class:`RecordEventCommand` / :class:`WaitEventCommand` become real
+  cross-thread synchronisation through each event's ``signal()`` /
+  ``wait_signal()`` runtime state, so a correct result is a live proof
+  that the stream/event wiring alone enforces every dependency.
+
+Because the engine shares command objects across threads, the process-
+global uid counters (event uids, queue uids, ``Command.issue_seq``) are
+lock-guarded rather than bare ``itertools.count`` iterators, and each
+:class:`Event` carries a resettable :class:`threading.Event` runtime
+flag alongside its one-shot *recording* metadata: recording (which queue
+position defines completion) happens once when a schedule is frozen;
+signalling happens once per replay and is cleared by ``reset_signal()``
+before the next one.
 """
 
 from __future__ import annotations
 
-import itertools
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -26,16 +45,48 @@ from repro import resilience as _res
 
 from .device import Device
 
-_event_ids = itertools.count()
-_queue_ids = itertools.count()
+
+class _SeqCounter:
+    """A thread-safe monotonically increasing counter.
+
+    Commands and events are created from worker threads once the parallel
+    engine exists (e.g. Set-level code recording from a callback), so the
+    process-global sequence counters must not rely on the atomicity of
+    any particular ``itertools.count`` implementation.
+    """
+
+    __slots__ = ("_lock", "_next")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def __next__(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next = value + 1
+            return value
+
+
+_event_ids = _SeqCounter()
+_queue_ids = _SeqCounter()
 
 
 class Event:
     """A one-shot synchronisation marker, recorded into one queue.
 
     Mirrors a CUDA event restricted to single recording, which is all the
-    Skeleton scheduler needs (it allocates a fresh completion event per
-    task).
+    Skeleton scheduler needs (it records one completion event per task
+    when a schedule is frozen).
+
+    Recording and signalling are distinct lifecycles.  *Recording* is
+    one-shot schedule metadata: which queue position defines completion.
+    The *signal* is replay-time runtime state, backed by a
+    :class:`threading.Event` so the parallel engine's worker threads can
+    block on cross-device dependencies; a compiled plan resets every
+    signal (``reset_signal()``) at the start of each replay and the
+    recording queue's worker sets it (``signal()``) when the record
+    command retires.
     """
 
     def __init__(self, name: str = ""):
@@ -43,10 +94,28 @@ class Event:
         self.name = name or f"ev{self.uid}"
         self.recorded_in: CommandQueue | None = None
         self.record_position: int | None = None
+        self._signal = threading.Event()
 
     @property
     def is_recorded(self) -> bool:
         return self.recorded_in is not None
+
+    @property
+    def is_signaled(self) -> bool:
+        """Whether the current replay has retired this event's record."""
+        return self._signal.is_set()
+
+    def signal(self) -> None:
+        """Mark the event complete for the current replay (thread-safe)."""
+        self._signal.set()
+
+    def wait_signal(self, timeout: float | None = None) -> bool:
+        """Block until the event is signalled; False on timeout."""
+        return self._signal.wait(timeout)
+
+    def reset_signal(self) -> None:
+        """Clear runtime completion state so the event can be replayed."""
+        self._signal.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = f"@{self.recorded_in.name}[{self.record_position}]" if self.is_recorded else "(unrecorded)"
@@ -74,7 +143,7 @@ class KernelCost:
             raise ValueError(f"invalid KernelCost: {self}")
 
 
-_issue_counter = itertools.count()
+_issue_counter = _SeqCounter()
 
 
 class Command:
@@ -83,7 +152,11 @@ class Command:
     ``issue_seq`` is the host-side enqueue order across all queues; the
     simulator uses it to break resource-contention ties the way hardware
     FIFO dispatch would — which is what lets the Skeleton's task-list
-    order (and thus the OCC scheduling hints) take effect.
+    order (and thus the OCC scheduling hints) take effect.  The parallel
+    engine relies on the same property: merging one device's queues in
+    ``issue_seq`` order reproduces the host task list projected onto
+    that device, and because every event record precedes its waits in
+    host order, per-device issue order is deadlock-free by construction.
     """
 
     __slots__ = ("name", "issue_seq")

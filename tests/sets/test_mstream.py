@@ -1,7 +1,9 @@
+import time
+
 import pytest
 
 from repro.sets import MultiEvent, MultiStream
-from repro.system import Backend, KernelCost
+from repro.system import Backend, KernelCost, ParallelEngine
 
 
 def test_create_one_queue_per_device():
@@ -30,6 +32,45 @@ def test_empty_stream_rejected():
         MultiStream([])
     with pytest.raises(ValueError):
         MultiEvent(0)
+
+
+def test_execute_parallel_recorded_stream():
+    """Set-level path: record on an eager=False stream, replay concurrently."""
+    backend = Backend.sim_gpus(3)
+    ms = MultiStream.create(backend, "work", eager=False)
+    hits = []
+    for rank, q in enumerate(ms):
+        q.enqueue_kernel(f"k{rank}", lambda r=rank: hits.append(r), KernelCost(bytes_moved=1))
+    assert hits == []  # recorded, not run
+    ms.execute_parallel()
+    assert sorted(hits) == [0, 1, 2]
+
+
+def test_execute_parallel_honours_multi_event_wiring():
+    """Producer stream records, consumer stream waits — engine obeys it."""
+    backend = Backend.sim_gpus(2)
+    producer = MultiStream.create(backend, "producer", eager=False)
+    consumer = MultiStream.create(backend, "consumer", eager=False)
+    ev = MultiEvent(2, "handoff")
+    order = []
+    for rank, q in enumerate(producer):
+        # the producer dawdles; without the event the consumer would win
+        q.enqueue_kernel(
+            f"p{rank}",
+            lambda r=rank: (time.sleep(0.03), order.append(("p", r)))[-1],
+            KernelCost(bytes_moved=1),
+        )
+    ev.record_all(producer)
+    ev.wait_all(consumer)
+    for rank, q in enumerate(consumer):
+        q.enqueue_kernel(f"c{rank}", lambda r=rank: order.append(("c", r)), KernelCost(bytes_moved=1))
+    engine = ParallelEngine()
+    try:
+        MultiStream(producer.queues + consumer.queues, name="both").execute_parallel(engine)
+    finally:
+        engine.close()
+    for rank in range(2):
+        assert order.index(("p", rank)) < order.index(("c", rank))
 
 
 @pytest.mark.parametrize("op_name", ["record_all", "wait_all"])

@@ -1,0 +1,158 @@
+"""ParallelEngine: per-device workers, event sync, failure modes."""
+
+import threading
+import time
+
+import pytest
+
+from repro.system import (
+    CommandQueue,
+    DeviceSet,
+    EngineDeadlock,
+    Event,
+    KernelCost,
+    ParallelEngine,
+)
+
+COST = KernelCost(bytes_moved=8)
+
+
+@pytest.fixture
+def engine():
+    eng = ParallelEngine(deadlock_timeout=5.0)
+    yield eng
+    eng.close()
+
+
+def test_event_signal_lifecycle():
+    ev = Event("sig")
+    assert not ev.is_signaled
+    ev.signal()
+    assert ev.is_signaled
+    assert ev.wait_signal(0.0)
+    ev.reset_signal()
+    assert not ev.is_signaled
+    assert not ev.wait_signal(0.0)
+
+
+def test_cross_thread_event_sync(engine):
+    """The wait genuinely blocks until the other device's record fires."""
+    d0, d1 = DeviceSet.gpus(2)
+    q0 = CommandQueue(d0, eager=False, name="q0")
+    q1 = CommandQueue(d1, eager=False, name="q1")
+    order = []
+    ev = Event("gate")
+    # device 0 is deliberately slow; without the event, device 1 wins
+    q0.enqueue_kernel("slow", lambda: (time.sleep(0.05), order.append("a"))[-1], COST)
+    q0.record_event(ev)
+    q1.wait_event(ev)
+    q1.enqueue_kernel("fast", lambda: order.append("b"), COST)
+    engine.execute([q0, q1])
+    assert order == ["a", "b"]
+
+
+def test_same_device_queues_merge_in_issue_order(engine):
+    """All queues of one device replay as a single FIFO in issue order."""
+    (dev,) = DeviceSet.gpus(1)
+    qa = CommandQueue(dev, eager=False, name="a")
+    qb = CommandQueue(dev, eager=False, name="b")
+    hits = []
+    qa.enqueue_kernel("k1", lambda: hits.append(1), COST)
+    qb.enqueue_kernel("k2", lambda: hits.append(2), COST)
+    qa.enqueue_kernel("k3", lambda: hits.append(3), COST)
+    engine.execute([qa, qb])
+    assert hits == [1, 2, 3]
+
+
+def test_wait_without_record_is_rejected_up_front(engine):
+    d0, d1 = DeviceSet.gpus(2)
+    q0 = CommandQueue(d0, eager=False, name="q0")
+    q1 = CommandQueue(d1, eager=False, name="q1")
+    q0.enqueue_kernel("k", lambda: None, COST)
+    q1.wait_event(Event("never-recorded"))
+    with pytest.raises(EngineDeadlock, match="never recorded"):
+        engine.execute([q0, q1])
+
+
+def test_worker_exception_propagates_and_aborts(engine):
+    d0, d1 = DeviceSet.gpus(2)
+    q0 = CommandQueue(d0, eager=False, name="q0")
+    q1 = CommandQueue(d1, eager=False, name="q1")
+    ran = []
+
+    def boom():
+        raise ValueError("kernel exploded")
+
+    ev = Event("gate")
+    q0.enqueue_kernel("boom", boom, COST)
+    q0.record_event(ev)  # never signalled: the worker dies first
+    q1.wait_event(ev)
+    q1.enqueue_kernel("after", lambda: ran.append(1), COST)
+    with pytest.raises(ValueError, match="kernel exploded"):
+        engine.execute([q0, q1])
+    assert ran == []  # the abort flag unblocked the waiter without running it
+
+
+def test_replay_is_repeatable(engine):
+    """Event signals reset per batch, so the same queues replay cleanly."""
+    d0, d1 = DeviceSet.gpus(2)
+    q0 = CommandQueue(d0, eager=False, name="q0")
+    q1 = CommandQueue(d1, eager=False, name="q1")
+    hits = []
+    ev = Event("gate")
+    q0.enqueue_kernel("a", lambda: hits.append("a"), COST)
+    q0.record_event(ev)
+    q1.wait_event(ev)
+    q1.enqueue_kernel("b", lambda: hits.append("b"), COST)
+    engine.execute([q0, q1])
+    engine.execute([q0, q1])
+    assert hits == ["a", "b", "a", "b"]
+
+
+def test_workers_persist_across_replays(engine):
+    d0, d1 = DeviceSet.gpus(2)
+    q0 = CommandQueue(d0, eager=False, name="q0")
+    q1 = CommandQueue(d1, eager=False, name="q1")
+    q0.enqueue_kernel("k0", lambda: None, COST)
+    q1.enqueue_kernel("k1", lambda: None, COST)
+    engine.execute([q0, q1])
+    first = dict(engine._workers)
+    assert len(first) == 2
+    engine.execute([q0, q1])
+    assert engine._workers == first  # same threads, not respawned
+
+
+def test_close_is_idempotent_and_engine_survives():
+    eng = ParallelEngine()
+    d0, d1 = DeviceSet.gpus(2)
+    q0 = CommandQueue(d0, eager=False, name="q0")
+    q1 = CommandQueue(d1, eager=False, name="q1")
+    hits = []
+    q0.enqueue_kernel("k0", lambda: hits.append(0), COST)
+    q1.enqueue_kernel("k1", lambda: hits.append(1), COST)
+    eng.execute([q0, q1])
+    threads = [w.thread for w in eng._workers.values()]
+    eng.close()
+    eng.close()
+    assert all(not t.is_alive() for t in threads)
+    eng.execute([q0, q1])  # fresh workers spin up on demand
+    assert len(hits) == 4
+    eng.close()
+
+
+def test_single_device_runs_inline(engine):
+    (dev,) = DeviceSet.gpus(1)
+    q = CommandQueue(dev, eager=False, name="q")
+    tids = []
+    q.enqueue_kernel("k", lambda: tids.append(threading.get_ident()), COST)
+    engine.execute([q])
+    assert tids == [threading.get_ident()]
+
+
+def test_bad_timeout_rejected():
+    with pytest.raises(ValueError):
+        ParallelEngine(deadlock_timeout=0.0)
+
+
+def test_empty_batch_is_a_noop(engine):
+    engine.execute([])

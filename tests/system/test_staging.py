@@ -1,0 +1,105 @@
+"""StagingPool: bucketing, reuse, correctness of pooled copies."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.system import DeviceSet, StagingPool
+
+
+@pytest.fixture
+def dev():
+    return DeviceSet.gpus(2)[0]
+
+
+def test_bucket_rounding():
+    assert StagingPool._bucket(0) == 256
+    assert StagingPool._bucket(1) == 256
+    assert StagingPool._bucket(256) == 256
+    assert StagingPool._bucket(257) == 512
+    assert StagingPool._bucket(1000) == 1024
+    with pytest.raises(ValueError):
+        StagingPool._bucket(-1)
+
+
+def test_acquire_release_reuses_buffer(dev):
+    pool = StagingPool()
+    a = pool.acquire(dev, 1000)
+    assert a.nbytes == 1024 and a.dtype == np.uint8
+    pool.release(dev, a)
+    b = pool.acquire(dev, 900)  # same bucket -> same block back
+    assert b is a
+    s = pool.stats()
+    assert s["hits"] == 1 and s["misses"] == 1 and s["hit_rate"] == 0.5
+    assert s["resident_bytes"] == 1024
+
+
+def test_buffers_are_per_device():
+    d0, d1 = DeviceSet.gpus(2)
+    pool = StagingPool()
+    a = pool.acquire(d0, 512)
+    pool.release(d0, a)
+    b = pool.acquire(d1, 512)
+    assert b is not a
+    assert pool.stats()["misses"] == 2
+
+
+def test_concurrent_acquires_get_distinct_buffers(dev):
+    pool = StagingPool()
+    a = pool.acquire(dev, 256)
+    b = pool.acquire(dev, 256)
+    assert a is not b
+
+
+def test_staged_copy_correct_and_pooled(dev):
+    pool = StagingPool()
+    src = np.arange(3 * 4 * 5, dtype=np.float64).reshape(3, 4, 5)
+    dst = np.zeros_like(src)
+    pool.staged_copy(dev, dst, src)
+    np.testing.assert_array_equal(dst, src)
+    pool.staged_copy(dev, dst, src + 1.0)
+    np.testing.assert_array_equal(dst, src + 1.0)
+    s = pool.stats()
+    assert s["misses"] == 1 and s["hits"] == 1  # second transfer reused the block
+
+
+def test_staged_copy_zero_size_is_noop(dev):
+    pool = StagingPool()
+    src = np.empty((0, 3))
+    dst = np.empty((0, 3))
+    pool.staged_copy(dev, dst, src)
+    assert pool.stats()["misses"] == 0
+
+
+def test_staged_copy_noncontiguous_source(dev):
+    pool = StagingPool()
+    base = np.arange(64, dtype=np.float64).reshape(8, 8)
+    src = base[::2, 1::3]  # strided view
+    dst = np.zeros_like(src)
+    pool.staged_copy(dev, dst, np.ascontiguousarray(src))
+    np.testing.assert_array_equal(dst, src)
+
+
+def test_thread_safety_under_hammering(dev):
+    pool = StagingPool()
+    errors = []
+
+    def worker(seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(200):
+            n = int(rng.integers(1, 4096))
+            src = rng.random(n)
+            dst = np.empty(n)
+            pool.staged_copy(dev, dst, src)
+            if not np.array_equal(dst, src):
+                errors.append("corrupted copy")
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    s = pool.stats()
+    assert s["hits"] + s["misses"] == 800
