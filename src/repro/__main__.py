@@ -16,6 +16,13 @@
         # run a miniature in serial and parallel execution modes, print a
         # comparison, and (with --json) write BENCH_lbm.json; --tripwire R
         # exits non-zero if parallel wall-clock exceeds R x serial
+    python -m repro sanitize lbm --devices 4 --occ standard
+        # replay a miniature under the graph race sanitizer (vector-clock
+        # happens-before checking of the compiled schedule) and report
+        # races / stale halo reads / event-wiring defects; --mutate also
+        # grades the detector against injected schedule mutants, and
+        # -o writes the violation report as JSON; exits non-zero on any
+        # violation or escaped mutant
 """
 
 from __future__ import annotations
@@ -173,6 +180,68 @@ def cmd_bench(name: str, emit_json: bool, devices: int, iters: int | None, out_d
     return 0
 
 
+def cmd_sanitize(
+    name: str,
+    devices: int,
+    occ_text: str,
+    mode: str,
+    mutate: bool,
+    out: str | None,
+) -> int:
+    import json
+
+    from repro import observability as obs
+    from repro.sanitizer import mutation_matrix, sanitize_workload
+    from repro.skeleton import Occ
+
+    if devices < 1:
+        print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
+        return 2
+    try:
+        occ = Occ.parse(occ_text)
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    obs.enable()
+    modes = ("serial", "parallel") if mode == "both" else (mode,)
+    reports = []
+    try:
+        for m in modes:
+            reports.append(sanitize_workload(name, devices=devices, occ=occ, mode=m))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    finally:
+        obs.disable()
+
+    ok = True
+    for rep in reports:
+        verdict = "clean" if rep.ok else f"{len(rep.violations)} violation(s)"
+        print(
+            f"{name} ({devices} devices, occ={occ.value}, mode={rep.mode}): "
+            f"{rep.commands} compiled commands, {rep.log_entries} log entries — {verdict}"
+        )
+        for sk, v in rep.violations:
+            print(f"  {sk}: {v}")
+        ok = ok and rep.ok
+    counted = obs.metrics().total("sanitizer_violations")
+    print(f"sanitizer_violations counter: {counted:g}")
+
+    doc: dict = {"runs": [rep.to_json() for rep in reports]}
+    if mutate:
+        matrix = mutation_matrix(workloads=(name,), devices=(devices,), occs=(occ,))
+        doc["mutation"] = matrix.to_json()
+        print(f"mutation matrix: {matrix.killed}/{matrix.total} mutants killed ({matrix.kinds})")
+        for row in matrix.escaped:
+            print(f"  ESCAPED {row.kind} {row.mutant} on {row.skeleton}")
+        ok = ok and matrix.total > 0 and not matrix.escaped
+    if out:
+        pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0 if ok else 1
+
+
 def cmd_info() -> int:
     import numpy
 
@@ -227,6 +296,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fail (exit 1) if parallel wall-clock exceeds this multiple of serial",
     )
+    sn = sub.add_parser("sanitize", help="race-sanitize a miniature's compiled schedule")
+    sn.add_argument("name", help="workload: lbm, poisson, karman or elasticity")
+    sn.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
+    sn.add_argument("--occ", default="standard", help="OCC level (none/standard/extended/two-way-extended)")
+    sn.add_argument(
+        "--mode",
+        default="both",
+        choices=["serial", "parallel", "both"],
+        help="replay mode(s) to sanitize (default both)",
+    )
+    sn.add_argument("--mutate", action="store_true", help="also grade the detector against schedule mutants")
+    sn.add_argument("-o", "--output", default=None, help="write the violation/mutation report as JSON")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -240,6 +321,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_faults(args.name, args.profile, args.output, args.devices, args.seed)
     if args.command == "bench":
         return cmd_bench(args.name, args.json, args.devices, args.iters, args.out_dir, args.tripwire)
+    if args.command == "sanitize":
+        return cmd_sanitize(args.name, args.devices, args.occ, args.mode, args.mutate, args.output)
     return cmd_info()
 
 

@@ -36,6 +36,37 @@ class HaloMsg:
                 f"halo messages only flow between slab neighbours, got {self.src_rank}->{self.dst_rank}"
             )
 
+    @property
+    def side(self) -> str:
+        """Which halo slab of the *destination* this message fills.
+
+        An upward message (src below dst) lands in the destination's low
+        ghost slots; a downward one in its high slots.  The sanitizer
+        keys halo regions on ``(field, dst_rank, side)``.
+        """
+        return "low" if self.src_rank < self.dst_rank else "high"
+
+
+def halo_sides(rank: int, num_devices: int) -> tuple[str, ...]:
+    """The halo slabs a partition actually owns on the 1-D decomposition."""
+    sides = []
+    if rank > 0:
+        sides.append("low")
+    if rank < num_devices - 1:
+        sides.append("high")
+    return tuple(sides)
+
+
+def field_exchanges_halo(field) -> bool:
+    """Whether a data set participates in halo exchange at all.
+
+    True only for grid-backed fields with a positive stencil radius on a
+    multi-device partition — reduce partials and single-device fields
+    have no ghost cells to keep coherent.
+    """
+    grid = getattr(field, "grid", None)
+    return grid is not None and getattr(grid, "radius", 0) > 0 and field.num_devices > 1
+
 
 def exchange_pairs(num_devices: int) -> list[tuple[int, int]]:
     """All directed neighbour pairs of the 1-D slab decomposition."""

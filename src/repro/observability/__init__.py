@@ -117,6 +117,13 @@ def span(name: str, cat: str = "phase", pid: str = "host", tid: str | None = Non
     return tracer().span(name, cat=cat, pid=pid, tid=tid, **args)
 
 
+def instant(name: str, cat: str = "mark", pid: str = "host", tid: str | None = None, **args):
+    """Record a zero-duration point event (no-op while disabled)."""
+    if not OBS.active:
+        return None
+    return tracer().instant(name, cat=cat, pid=pid, tid=tid, **args)
+
+
 def traced(name: str | None = None, cat: str = "func", pid: str = "host"):
     """Decorator tracing every call of a function as one span."""
 
@@ -168,6 +175,7 @@ __all__ = [
     "enable",
     "enabled",
     "export_chrome_trace",
+    "instant",
     "merge_chrome_traces",
     "metrics",
     "metrics_report",

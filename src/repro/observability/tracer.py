@@ -94,6 +94,15 @@ class Tracer:
             tid = threading.current_thread().name
         return _SpanHandle(self, TraceSpan(name=name, cat=cat, start=0.0, end=0.0, pid=pid, tid=tid, args=args))
 
+    def instant(self, name: str, cat: str = "mark", pid: str = "host", tid: str | None = None, **args) -> TraceSpan:
+        """Record a zero-duration point event (Chrome trace 'instant')."""
+        if tid is None:
+            tid = threading.current_thread().name
+        now = time.perf_counter() - self.epoch
+        span = TraceSpan(name=name, cat=cat, start=now, end=now, pid=pid, tid=tid, args=args)
+        self._append(span)
+        return span
+
     @property
     def spans(self) -> list[TraceSpan]:
         """Completed spans, sorted by start time."""

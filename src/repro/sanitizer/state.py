@@ -1,0 +1,80 @@
+"""Sanitizer arming state + the execution log runtime hooks write into.
+
+Like :mod:`repro.observability`, this module is stdlib-only and imports
+nothing from ``repro`` so the hot runtime paths (scheduler replay, the
+parallel engine's workers, eager queues) can guard on a single attribute
+read — ``SAN.active`` — without import cycles or measurable disabled
+overhead.  The heavy analysis modules (:mod:`repro.sanitizer.detector`,
+:mod:`repro.sanitizer.mutate`) live downstream and are only imported by
+the CLI and tests.
+
+The log records *what actually executed*, in completion order per
+recording thread: one entry per retired kernel/copy command plus the
+event signal/wait operations the parallel engine performs.  The
+detector's happens-before analysis works on the static queue wiring; the
+log adds the dynamic half — coverage (every compiled command really ran)
+and which replay mode produced the run.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecRecord:
+    """One retired operation of a sanitized run."""
+
+    seq: int  # global completion order (log append order)
+    thread: int  # ident of the executing thread
+    op: str  # "run" | "signal" | "wait"
+    command: object  # the Command (or Event for signal/wait ops)
+
+
+class _SanState:
+    """Process-global sanitizer switchboard (slotted for fast reads)."""
+
+    __slots__ = ("active", "_lock", "_log")
+
+    def __init__(self) -> None:
+        self.active = False
+        self._lock = threading.Lock()
+        self._log: list[ExecRecord] = []
+
+    def record(self, command: object, op: str = "run") -> None:
+        """Append one retired operation (thread-safe, called from workers)."""
+        with self._lock:
+            self._log.append(ExecRecord(len(self._log), threading.get_ident(), op, command))
+
+    def drain(self) -> list[ExecRecord]:
+        """Return and clear the accumulated log."""
+        with self._lock:
+            log, self._log = self._log, []
+            return log
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._log)
+
+
+SAN = _SanState()
+"""The singleton hot-path guard: hooks check ``SAN.active`` before recording."""
+
+
+def enable() -> None:
+    """Arm execution recording, starting from an empty log."""
+    SAN.drain()
+    SAN.active = True
+
+
+def disable() -> list[ExecRecord]:
+    """Disarm recording and return the captured execution log."""
+    SAN.active = False
+    return SAN.drain()
+
+
+def reset() -> None:
+    """Disarm and drop any captured state (test-fixture hygiene)."""
+    SAN.active = False
+    SAN.drain()

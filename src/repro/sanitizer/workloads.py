@@ -1,0 +1,99 @@
+"""Sanitizer miniatures: the four paper experiments at checkable size.
+
+Each workload builds real solver skeletons (same code paths as the
+benchmarks, shrunk until a full mutation matrix runs in CI time) and
+exposes the uniform interface the runner and the CLI drive: compiled
+skeletons plus a ``run(mode)`` that replays them a couple of times.
+Shapes scale with the device count so every partition keeps a legal slab
+(at least ``2 * radius`` cells) up to 8 devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.skeleton import Occ
+from repro.system import Backend
+
+WORKLOADS = ("lbm", "poisson", "karman", "elasticity")
+
+
+@dataclass
+class Workload:
+    """One sanitizable experiment: compiled skeletons + a replay driver."""
+
+    name: str
+    description: str
+    skeletons: list = field(default_factory=list)
+    run: Callable[[str], None] = lambda mode: None
+
+
+def _slab_extent(devices: int, minimum: int = 12) -> int:
+    return max(minimum, 2 * devices)
+
+
+def build_workload(name: str, devices: int = 4, occ: Occ = Occ.STANDARD) -> Workload:
+    """Instantiate one miniature on a fresh simulated backend."""
+    backend = Backend.sim_gpus(devices)
+    if name == "lbm":
+        from repro.solvers.lbm import LidDrivenCavity
+
+        cavity = LidDrivenCavity(backend, (_slab_extent(devices), 6, 6), occ=occ)
+        return Workload(
+            name=name,
+            description=f"{devices}-device LBM D3Q19 lid-driven cavity miniature",
+            skeletons=cavity.skeletons,
+            run=lambda mode: cavity.step(2, mode=mode),
+        )
+    if name == "poisson":
+        from repro.solvers.poisson import PoissonSolver
+
+        solver = PoissonSolver(backend, (_slab_extent(devices), 6, 6), occ=occ)
+        solver.set_rhs(lambda z, y, x: np.ones(z.shape, dtype=np.float64))
+
+        def run_poisson(mode: str) -> None:
+            solver.cg.mode = mode
+            solver.cg.begin(tolerance=1e-12)
+            for _ in range(2):
+                if solver.cg.iterate():
+                    break
+
+        cg = solver.cg
+        return Workload(
+            name=name,
+            description=f"{devices}-device Poisson CG miniature",
+            skeletons=[cg.sk_init, cg.sk_a, cg.sk_b],
+            run=run_poisson,
+        )
+    if name == "karman":
+        from repro.solvers.lbm import KarmanVortexStreet
+
+        street = KarmanVortexStreet(backend, (_slab_extent(devices, minimum=18), 30), occ=occ)
+        return Workload(
+            name=name,
+            description=f"{devices}-device LBM D2Q9 Karman vortex street miniature",
+            skeletons=street.skeletons,
+            run=lambda mode: street.step(2, mode=mode),
+        )
+    if name == "elasticity":
+        from repro.solvers.elasticity import ElasticitySolver
+
+        solver = ElasticitySolver.solid_cube(backend, _slab_extent(devices, minimum=8), occ=occ)
+
+        def run_elasticity(mode: str) -> None:
+            solver.cg.mode = mode
+            solver.cg.begin(tolerance=1e-12)
+            solver.cg.iterate()
+
+        cg = solver.cg
+        return Workload(
+            name=name,
+            description=f"{devices}-device linear elasticity CG miniature",
+            skeletons=[cg.sk_init, cg.sk_a, cg.sk_b],
+            run=run_elasticity,
+        )
+    supported = ", ".join(WORKLOADS)
+    raise KeyError(f"unknown sanitize workload {name!r}; supported: {supported}")

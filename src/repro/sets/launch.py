@@ -26,6 +26,50 @@ from .loader import Access, AccessToken, Pattern
 from .views import DataView
 
 
+_VIEW_PARTS: dict[DataView, tuple[str, ...]] = {
+    DataView.STANDARD: ("internal", "boundary"),
+    DataView.INTERNAL: ("internal",),
+    DataView.BOUNDARY: ("boundary",),
+}
+
+
+def token_access_parts(token: AccessToken, view: DataView) -> tuple[tuple[str, ...], tuple[str, ...], bool]:
+    """Owned-slab footprint of one declared access at one launch view.
+
+    Returns ``(read_parts, write_parts, reads_halo)``: which owned
+    sub-slabs (``"internal"`` / ``"boundary"``) the access reads and
+    writes, and whether it additionally gathers from the data's halo
+    slots.  This is the Sets-level ground truth the race sanitizer's
+    region model is built on, so the rules deserve spelling out:
+
+    * a MAP access touches exactly the cells of its view;
+    * a STENCIL read gathers from the whole owned slab regardless of
+      view (an INTERNAL launch still reads boundary-owned neighbours at
+      the internal/boundary seam) and from the halo slots whenever the
+      view covers boundary cells — an INTERNAL view stays ``radius``
+      away from the partition edge, so it alone never needs the halo;
+    * a REDUCE partial is read-modify-written per *launch*, not per
+      cell: both halves of an OCC-split reduction touch the same
+      partial, whatever their views (which is why the scheduler wires an
+      explicit internal->boundary dependency between them).
+    """
+    if token.pattern is Pattern.REDUCE:
+        both = _VIEW_PARTS[DataView.STANDARD]
+        return both, both, False
+    read_parts: tuple[str, ...] = ()
+    write_parts: tuple[str, ...] = ()
+    reads_halo = False
+    if token.access.reads:
+        if token.pattern is Pattern.STENCIL:
+            read_parts = _VIEW_PARTS[DataView.STANDARD]
+            reads_halo = view in (DataView.STANDARD, DataView.BOUNDARY)
+        else:
+            read_parts = _VIEW_PARTS[view]
+    if token.access.writes:
+        write_parts = _VIEW_PARTS[view]
+    return read_parts, write_parts, reads_halo
+
+
 def estimate_cost(
     index_data: MultiDeviceData,
     tokens: list[AccessToken],
@@ -115,4 +159,4 @@ def wrap_kernel_faults(
     return kernel_with_corruption
 
 
-__all__ = ["estimate_cost", "wrap_kernel_faults", "Access", "Pattern"]
+__all__ = ["estimate_cost", "token_access_parts", "wrap_kernel_faults", "Access", "Pattern"]

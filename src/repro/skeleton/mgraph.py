@@ -14,6 +14,7 @@ per-rank scopes.
 from __future__ import annotations
 
 from repro import observability as _obs
+from repro.domain.halo import field_exchanges_halo
 from repro.sets import Container, Pattern
 from repro.system import Backend
 
@@ -21,8 +22,14 @@ from .depgraph import DepGraph, GraphNode, NodeKind, build_dependency_graph, con
 
 
 def needs_halo_nodes(backend: Backend, field) -> bool:
-    """A field needs halo updates only if partitions actually exchange data."""
-    return backend.num_devices > 1 and field.grid.radius > 0
+    """A field needs halo updates only if partitions actually exchange data.
+
+    Delegates to :func:`repro.domain.halo.field_exchanges_halo` — the
+    same predicate the race sanitizer uses to decide which stencil reads
+    touch halo regions, so graph construction and race checking can
+    never drift apart on this rule.
+    """
+    return backend.num_devices > 1 and field_exchanges_halo(field)
 
 
 def expand_with_halo_nodes(containers: list[Container], backend: Backend) -> list[GraphNode]:

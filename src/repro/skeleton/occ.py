@@ -42,6 +42,16 @@ class Occ(enum.Enum):
     def level(self) -> int:
         return [Occ.NONE, Occ.STANDARD, Occ.EXTENDED, Occ.TWO_WAY].index(self)
 
+    @classmethod
+    def parse(cls, text: str) -> "Occ":
+        """Resolve a CLI spelling (value or member name) to a level."""
+        needle = text.strip().lower()
+        for occ in cls:
+            if needle in (occ.value, occ.name.lower(), occ.name.lower().replace("_", "-")):
+                return occ
+        supported = ", ".join(o.value for o in cls)
+        raise ValueError(f"unknown OCC level {text!r}; expected one of: {supported}")
+
 
 @dataclass
 class OccReport:

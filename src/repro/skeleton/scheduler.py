@@ -28,8 +28,11 @@ import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+import threading
+
 from repro import observability as _obs
 from repro import resilience as _res
+from repro.sanitizer.state import SAN as _SAN
 from repro.sets import Container, DataView, ReduceMode
 from repro.sets.launch import wrap_kernel_faults
 from repro.sets.loader import Loader
@@ -83,8 +86,10 @@ class _Step:
     container: Container | None = None
     rank: int = -1
     virtual: bool = False
+    view: DataView | None = None
     # copy steps only
     msg: object | None = None
+    halo_field: object | None = None
 
 
 @dataclass
@@ -143,6 +148,7 @@ class Plan:
         self._resolve_empty_pieces()
         self._program: CompiledProgram | None = None
         self._engine: ParallelEngine | None = None
+        self._engine_lock = threading.Lock()
 
     # -- phase a: stream mapping ----------------------------------------------
     def _assign_streams(self) -> None:
@@ -359,6 +365,7 @@ class Plan:
                         container=node.container,
                         rank=idx,
                         virtual=virtual,
+                        view=node.view,
                     )
                     stats.num_kernels += 1
                     stats.kernel_bytes += cost.bytes_moved
@@ -383,6 +390,7 @@ class Plan:
                         ranks=(msg.src_rank, msg.dst_rank),
                         command=cmd,
                         msg=msg,
+                        halo_field=node.halo_field,
                     )
                     stats.num_copies += 1
                     stats.copy_bytes += msg.nbytes
@@ -434,6 +442,8 @@ class Plan:
                 m = _obs.OBS.metrics
                 m.counter("halo_bytes_sent", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc(msg.nbytes)
                 m.counter("halo_messages", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc()
+        if _SAN.active:
+            _SAN.record(step.command)
 
     def _replay_serial(self, program: CompiledProgram) -> None:
         """Host-ordered replay: every step in task-list order (historical)."""
@@ -443,7 +453,13 @@ class Plan:
     def _replay_parallel(self, program: CompiledProgram) -> None:
         """Engine replay: one worker per device, event-wired synchronisation."""
         if self._engine is None:
-            self._engine = ParallelEngine()
+            # double-checked: two threads replaying one plan concurrently
+            # must share a single engine, whose batch lock then serialises
+            # their replays — two engines would race each other's event
+            # signal resets mid-batch (caught by the replay stress test)
+            with self._engine_lock:
+                if self._engine is None:
+                    self._engine = ParallelEngine()
         self._engine.execute(program.queues, run_command=lambda cmd: self._run_step(program.step_of[cmd]))
 
     # -- phase c: execution -----------------------------------------------------

@@ -83,6 +83,21 @@ class Skeleton:
         result = result or self.last_result or self.record()
         return simulate_result(result, machine)
 
+    def sanitize(self, mode: str = "serial", runs: int = 2):
+        """Replay under the race sanitizer; return the violation list.
+
+        Arms execution recording, replays the compiled program ``runs``
+        times in ``mode``, then runs the happens-before race detector,
+        halo-freshness and event-wiring checks over the frozen schedule
+        plus a coverage check over what actually retired.  An empty list
+        is the sanitizer's clean bill; findings are also published to
+        the observability layer (``sanitizer_violations`` counter +
+        instant trace events) when it is enabled.
+        """
+        from repro.sanitizer.runner import sanitize_skeleton  # noqa: PLC0415 - keep analysis out of hot imports
+
+        return sanitize_skeleton(self, mode=mode, runs=runs)
+
     def validate(self, machine: MachineSpec | None = None) -> None:
         """Assert the stream/event wiring alone enforces all dependencies."""
         result = self.record()

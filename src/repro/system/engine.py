@@ -42,6 +42,8 @@ import queue as _queue
 import threading
 from collections.abc import Callable
 
+from repro.sanitizer.state import SAN as _SAN
+
 from .queue import Command, CommandQueue, CopyCommand, KernelCommand, RecordEventCommand, WaitEventCommand
 
 
@@ -126,15 +128,8 @@ class ParallelEngine:
         programs = self._build_programs(queues)
         if not programs:
             return
-        self._reset_and_check_events(programs)
         if run_command is None:
             run_command = self._default_run
-        if len(programs) == 1:
-            # single device: no cross-thread dependencies are possible,
-            # run inline and keep the exception story trivial
-            for cmd in next(iter(programs.values())):
-                self._step(cmd, run_command, abort=None)
-            return
 
         abort = threading.Event()
         errors: list[BaseException] = []
@@ -157,7 +152,21 @@ class ParallelEngine:
 
             return job
 
+        # The event-signal reset MUST happen inside the batch lock: a
+        # concurrent replay of the same compiled program through this
+        # engine would otherwise clear signals the in-flight batch has
+        # already set, stranding its waiters until the watchdog fires
+        # (pinned down by tests/system/test_event_replay_stress.py).
+        # The single-device inline path holds the lock for the same
+        # reason — its commands share the batch's event objects.
         with self._batch_lock:
+            self._reset_and_check_events(programs)
+            if len(programs) == 1:
+                # single device: no cross-thread dependencies are
+                # possible, run inline and keep the exception story trivial
+                for cmd in next(iter(programs.values())):
+                    self._step(cmd, run_command, abort=None)
+                return
             for dev_uid, program in sorted(programs.items()):
                 self._worker(dev_uid).submit(make_job(program))
             for _ in programs:
@@ -222,8 +231,12 @@ class ParallelEngine:
                         f"worker stalled {self.deadlock_timeout:.0f}s on {cmd.name}; "
                         "the recording queue made no progress"
                     )
+            if _SAN.active:
+                _SAN.record(cmd, "wait")
         elif isinstance(cmd, RecordEventCommand):
             cmd.event.signal()
+            if _SAN.active:
+                _SAN.record(cmd, "signal")
         else:
             run_command(cmd)
 
@@ -231,5 +244,7 @@ class ParallelEngine:
     def _default_run(cmd: Command) -> None:
         if isinstance(cmd, (KernelCommand, CopyCommand)):
             cmd.fn()
+            if _SAN.active:
+                _SAN.record(cmd)
         else:  # pragma: no cover - future command kinds fail loudly
             raise TypeError(f"parallel engine cannot execute {type(cmd).__name__}")

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 from repro import observability as _obs
 from repro import resilience as _res
+from repro.sanitizer.state import SAN as _SAN
 
 from .device import Device
 
@@ -264,6 +265,8 @@ class CommandQueue:
                 )
             else:
                 fn()
+            if _SAN.active:
+                _SAN.record(cmd)
         return cmd
 
     def enqueue_copy(
@@ -290,6 +293,8 @@ class CommandQueue:
                 )
             else:
                 fn()
+            if _SAN.active:
+                _SAN.record(cmd)
         return cmd
 
     def record_event(self, event: Event) -> RecordEventCommand:

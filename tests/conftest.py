@@ -10,6 +10,7 @@ import pytest
 
 from repro import observability as obs
 from repro import resilience as res
+from repro import sanitizer as san
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -43,3 +44,13 @@ def resilience_disarmed():
         yield
     finally:
         res.reset()
+
+
+@pytest.fixture(autouse=True)
+def sanitizer_disarmed():
+    """Keep the documented default (no execution recording) true between tests."""
+    san.reset()
+    try:
+        yield
+    finally:
+        san.reset()

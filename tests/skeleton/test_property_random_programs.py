@@ -39,7 +39,7 @@ op_strategy = st.one_of(
 program_strategy = st.lists(op_strategy, min_size=1, max_size=6)
 
 
-def build_and_run(program, ndev, occ):
+def build_and_run(program, ndev, occ, mode="serial"):
     backend = Backend.sim_gpus(ndev)
     grid = DenseGrid(backend, SHAPE, stencils=[STENCIL_7PT])
     fields = [grid.new_field(f"f{i}") for i in range(NUM_FIELDS)]
@@ -67,7 +67,7 @@ def build_and_run(program, ndev, occ):
             partials.append(partial)
             containers.append(_hybrid(grid, f"hyb{k}", fields[a], partial))
     sk = Skeleton(backend, containers, occ=occ)
-    result = sk.run()
+    result = sk.run(mode=mode)
     outs = [f.to_numpy() for f in fields]
     sums = [float(sum(p.partition(r).array[0] for r in range(ndev))) for p in partials]
     return outs, sums, sk, result
@@ -147,6 +147,20 @@ def test_random_programs_match_single_device(program, occ):
     np.testing.assert_allclose(ref_sums, sums, rtol=1e-10)
 
 
+@settings(max_examples=10, deadline=None)
+@given(program=program_strategy, occ=st.sampled_from(list(Occ)))
+def test_random_programs_parallel_replay_matches_and_sanitizes_clean(program, occ):
+    """Every generated program must also survive the two strongest dynamic
+    checks: a threaded (parallel-engine) replay producing bitwise-equal
+    results, and the race sanitizer reporting zero violations on it."""
+    ref_outs, ref_sums, _, _ = build_and_run(program, 1, Occ.NONE)
+    outs, sums, sk, _ = build_and_run(program, 3, occ, mode="parallel")
+    for a, b in zip(ref_outs, outs):
+        np.testing.assert_allclose(a, b, atol=1e-10)
+    np.testing.assert_allclose(ref_sums, sums, rtol=1e-10)
+    assert sk.sanitize(mode="parallel", runs=1) == []
+
+
 @settings(max_examples=15, deadline=None)
 @given(program=program_strategy, occ=st.sampled_from(list(Occ)))
 def test_random_programs_have_valid_schedules(program, occ):
@@ -157,7 +171,7 @@ def test_random_programs_have_valid_schedules(program, occ):
     assert violations == []
 
 
-def build_and_run_sparse(program, ndev, occ, seed):
+def build_and_run_sparse(program, ndev, occ, seed, mode="serial"):
     """Same random programs over an element-sparse free-form domain."""
     from repro.domain import SparseGrid
 
@@ -194,10 +208,10 @@ def build_and_run_sparse(program, ndev, occ, seed):
             partials.append(partial)
             containers.append(_hybrid(grid, f"hyb{k}", fields[a], partial))
     sk = Skeleton(backend, containers, occ=occ)
-    sk.run()
+    sk.run(mode=mode)
     outs = [f.to_numpy() for f in fields]
     sums = [float(sum(p.partition(r).array[0] for r in range(ndev))) for p in partials]
-    return outs, sums
+    return outs, sums, sk
 
 
 @settings(max_examples=12, deadline=None)
@@ -210,3 +224,19 @@ def test_random_programs_on_sparse_grids_match(program, occ, seed):
     for a, b in zip(ref[0], got[0]):
         np.testing.assert_allclose(a, b, atol=1e-10)
     np.testing.assert_allclose(ref[1], got[1], rtol=1e-10)
+
+
+@settings(max_examples=8, deadline=None)
+@given(program=program_strategy, occ=st.sampled_from(list(Occ)), seed=st.integers(0, 1000))
+def test_random_sparse_programs_parallel_replay_and_sanitizer(program, occ, seed):
+    """The sparse-grid program pool under the same dynamic checks: a
+    parallel replay must match the 1-device serial reference, and the
+    sanitizer must find nothing to complain about."""
+    ref = build_and_run_sparse(program, 1, Occ.NONE, seed)
+    got = build_and_run_sparse(program, 3, occ, seed, mode="parallel")
+    if ref is None or got is None:
+        return
+    for a, b in zip(ref[0], got[0]):
+        np.testing.assert_allclose(a, b, atol=1e-10)
+    np.testing.assert_allclose(ref[1], got[1], rtol=1e-10)
+    assert got[2].sanitize(mode="parallel", runs=1) == []

@@ -81,6 +81,112 @@ def test_staged_copy_noncontiguous_source(dev):
     np.testing.assert_array_equal(dst, src)
 
 
+def test_oversized_bucket_slice_never_leaks_stale_tail(dev):
+    """A poisoned pooled block reused for a smaller same-bucket payload
+    must contribute only its sliced prefix to the copy.
+
+    ``release`` keys the free list by ``arr.nbytes``, so a block poisoned
+    at bucket 2048 is handed back exactly to requests that round to 2048;
+    if ``staged_copy`` ever staged through the whole bucket instead of
+    ``stage[:nbytes]``, the 0xAB tail would surface here."""
+    pool = StagingPool()
+    poisoned = pool.acquire(dev, 2048)
+    poisoned[:] = 0xAB
+    pool.release(dev, poisoned)
+
+    src = np.linspace(-1.0, 1.0, 200)  # 1600 bytes -> the poisoned 2048 bucket
+    dst = np.full_like(src, np.nan)
+    pool.staged_copy(dev, dst, src)
+    assert pool.stats()["hits"] == 1  # the poisoned block really was the stage
+    np.testing.assert_array_equal(dst, src)
+
+
+def test_stale_tail_never_reaches_neighbour_ghost_cells(dev):
+    """Halo-shaped transfer: the destination is one ghost slab of a larger
+    partition array; stale staging bytes must neither land in the slab nor
+    smear past it into the interior."""
+    pool = StagingPool()
+    for bucket in (256, 512, 1024, 2048, 4096):
+        blk = pool.acquire(dev, bucket)
+        blk[:] = 0xAB
+        pool.release(dev, blk)
+
+    ghost = np.full((6, 8, 8), -7.0)  # destination partition incl. ghost slab
+    payload = np.arange(64, dtype=np.float64).reshape(1, 8, 8)  # 512-byte slab
+    pool.staged_copy(dev, ghost[:1], payload)
+    np.testing.assert_array_equal(ghost[:1], payload)
+    np.testing.assert_array_equal(ghost[1:], np.full((5, 8, 8), -7.0))
+
+
+def test_halo_exchange_correct_through_poisoned_pool():
+    """End-to-end regression: a multi-device stencil run whose backend
+    staging pool is pre-seeded with poisoned blocks of every plausible
+    bucket must still match the 1-device reference bitwise — the halo
+    path (``repro.domain.halo.staged_copy``) reuses those blocks for its
+    ghost-cell payloads."""
+    from repro.domain import STENCIL_7PT, DenseGrid
+    from repro.sets import Access, Pattern
+    from repro.skeleton import Occ, Skeleton
+    from repro.system import Backend
+
+    def stencil(grid, name, x, y):
+        def loading(loader):
+            xp = loader.read(x, stencil=True)
+            yp = loader.write(y)
+
+            def compute(span):
+                acc = -6.0 * xp.view(span)
+                for off in STENCIL_7PT:
+                    if off != (0, 0, 0):
+                        acc = acc + xp.neighbour(span, off)
+                yp.view(span)[...] = acc
+
+            return compute
+
+        return grid.new_container(name, loading)
+
+    def relax(grid, name, x, y):
+        def loading(loader):
+            xp = loader.read(x)
+            yp = loader.load(y, Access.READ_WRITE, Pattern.MAP)
+
+            def compute(span):
+                yv = yp.view(span)
+                yv[...] = 0.25 * xp.view(span) + 0.5 * yv
+
+            return compute
+
+        return grid.new_container(name, loading)
+
+    def run(ndev, poison):
+        backend = Backend.sim_gpus(ndev)
+        if poison:
+            for dev_ in backend.devices:
+                for bucket in (256, 512, 1024, 2048, 4096, 8192):
+                    blk = backend.staging.acquire(dev_, bucket)
+                    blk[:] = 0xAB
+                    backend.staging.release(dev_, blk)
+        grid = DenseGrid(backend, (12, 5, 5), stencils=[STENCIL_7PT])
+        f = grid.new_field("f")
+        g = grid.new_field("g")
+        f.init(lambda z, y, x: np.cos(z) + 0.01 * x * y)
+        g.init(lambda z, y, x: 0.0)
+        sk = Skeleton(
+            backend,
+            [stencil(grid, "st", f, g), relax(grid, "relax", g, f)],
+            occ=Occ.STANDARD,
+        )
+        for _ in range(3):
+            sk.run()
+        assert not poison or backend.staging.stats()["hits"] > 0
+        return f.to_numpy(), g.to_numpy()
+
+    ref = run(1, poison=False)
+    got = run(3, poison=True)
+    for a, b in zip(ref, got):
+        np.testing.assert_array_equal(a, b)
+
+
 def test_thread_safety_under_hammering(dev):
     pool = StagingPool()
     errors = []
