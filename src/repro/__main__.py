@@ -23,6 +23,12 @@
         # grades the detector against injected schedule mutants, and
         # -o writes the violation report as JSON; exits non-zero on any
         # violation or escaped mutant
+    python -m repro tune lbm --machine mixed_pcie --devices 4 -o TUNE_lbm.json
+        # cost-model-driven autotuner: search OCC level x execution mode
+        # x partition weights for one workload on one machine model,
+        # scored by DES replay of each candidate's recorded command
+        # stream; prints the candidate table and decision, -o writes the
+        # TunePlan as JSON
 """
 
 from __future__ import annotations
@@ -242,16 +248,56 @@ def cmd_sanitize(
     return 0 if ok else 1
 
 
+TUNE_MACHINES = ("dgx_a100", "pcie_a100", "pcie_gv100", "mixed_pcie", "multi_node_a100")
+
+
+def _build_machine(machine_name: str, devices: int):
+    from repro.sim import machine as machines
+
+    if machine_name == "multi_node_a100":
+        # the cluster preset takes (nodes, gpus_per_node)
+        return machines.multi_node_a100(2, max(1, devices // 2))
+    return getattr(machines, machine_name)(devices)
+
+
+def cmd_tune(name: str, machine_name: str, devices: int, out: str | None) -> int:
+    from repro.tuner import tune_workload
+
+    if devices < 1:
+        print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
+        return 2
+    machine = _build_machine(machine_name, devices)
+    try:
+        plan = tune_workload(name, machine, devices=devices)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(f"{name} on {machine.name} ({devices} devices): {len(plan.candidates)} candidates")
+    print(f"  shares: {'  '.join(f'{s:.3f}' for s in plan.shares)}")
+    width = max(len(c.occ) for c in plan.candidates)
+    for c in sorted(plan.candidates, key=lambda c: c.makespan):
+        marks = " <- best" if c is plan.best else (" <- baseline" if c is plan.baseline else "")
+        print(f"  {c.occ:<{width}}  {c.mode:<8}  {c.weights_label:<7}  {c.makespan * 1e3:8.3f} ms{marks}")
+    print(
+        f"decision: occ={plan.best.occ} mode={plan.best.mode} weights={plan.best.weights_label} "
+        f"— {100 * plan.improvement:.1f}% below the uniform standard-OCC serial baseline"
+    )
+    if out:
+        plan.save(out)
+        print(f"wrote {out}")
+    return 0
+
+
 def cmd_info() -> int:
     import numpy
 
     import repro
-    from repro.sim import cpu_host, dgx_a100, multi_node_a100, pcie_a100, pcie_gv100
+    from repro.sim import cpu_host, dgx_a100, mixed_pcie, multi_node_a100, pcie_a100, pcie_gv100
 
     print(f"repro {repro.__version__} — Neon (IPDPS 2022) reproduction")
     print(f"python {sys.version.split()[0]}, numpy {numpy.__version__}")
     print("\nmachine models:")
-    for m in (dgx_a100(8), pcie_a100(8), pcie_gv100(8), multi_node_a100(2, 4), cpu_host()):
+    for m in (dgx_a100(8), pcie_a100(8), pcie_gv100(8), mixed_pcie(8), multi_node_a100(2, 4), cpu_host()):
         link = m.topology.link(0, 1) if m.num_devices > 1 else m.topology.link(0, -1)
         print(
             f"  {m.name:<22} mem {m.device.mem_bandwidth / 1e12:5.2f} TB/s   "
@@ -308,6 +354,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     sn.add_argument("--mutate", action="store_true", help="also grade the detector against schedule mutants")
     sn.add_argument("-o", "--output", default=None, help="write the violation/mutation report as JSON")
+    tn = sub.add_parser("tune", help="autotune one workload on one machine model")
+    tn.add_argument("name", help="workload: lbm, karman, poisson or elasticity")
+    tn.add_argument(
+        "--machine",
+        default="pcie_a100",
+        choices=list(TUNE_MACHINES),
+        help="machine model to tune for (default pcie_a100)",
+    )
+    tn.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
+    tn.add_argument("-o", "--output", default=None, help="write the TunePlan as JSON (e.g. TUNE_lbm.json)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -323,6 +379,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(args.name, args.json, args.devices, args.iters, args.out_dir, args.tripwire)
     if args.command == "sanitize":
         return cmd_sanitize(args.name, args.devices, args.occ, args.mode, args.mutate, args.output)
+    if args.command == "tune":
+        return cmd_tune(args.name, args.machine, args.devices, args.output)
     return cmd_info()
 
 

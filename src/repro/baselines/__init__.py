@@ -2,19 +2,24 @@
 cuboltz, stlbm (AA / twoPop / Swap), Taichi, and CUDA+cuBLAS baselines."""
 
 from .cavity_native import NativeCavity
+from .elasticity_native import NativeElasticity
 from .karman_native import NativeKarman
 from .lbm_native import NativeLBM, aa_even_step, aa_odd_step, swap_step, twopop_step
 from .poisson_native import NativeCGResult, NativePoissonCG, apply_neg_laplacian
+from .reductions import slice_dot, slice_sums
 
 __all__ = [
     "NativeCGResult",
     "NativeCavity",
+    "NativeElasticity",
     "NativeKarman",
     "NativeLBM",
     "NativePoissonCG",
     "aa_even_step",
     "aa_odd_step",
     "apply_neg_laplacian",
+    "slice_dot",
+    "slice_sums",
     "swap_step",
     "twopop_step",
 ]

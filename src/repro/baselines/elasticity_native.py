@@ -1,0 +1,98 @@
+"""Raw-NumPy matrix-free FEM elasticity CG: the hand-written comparator.
+
+Single device, padded arrays as ghost layers, the same assembled
+27-point block stencil the framework solver applies (the element
+stiffness assembly is shared math, imported from the solver module; what
+this baseline deliberately does *not* share is any of the framework —
+grids, fields, halos, skeletons, or OCC).  Arithmetic is ordered
+operation-for-operation like the skeleton containers, and the dots use
+the canonical per-slice summation tree, so a correct framework run of
+:class:`repro.solvers.elasticity.ElasticitySolver` matches this baseline
+bitwise for every partition, OCC level, and execution mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.elasticity import assembled_node_blocks
+
+from .poisson_native import NativeCGResult
+from .reductions import slice_dot
+
+
+class NativeElasticity:
+    """Solid cube, fixed z=0 plane, +z pressure on the top plane."""
+
+    def __init__(
+        self,
+        grid_size: int,
+        E: float = 1.0,
+        nu: float = 0.3,
+        pressure: float = 0.01,
+        mask: np.ndarray | None = None,
+    ):
+        n = int(grid_size)
+        self.n = n
+        blocks = assembled_node_blocks(E, nu)
+        # same offset order (and the same zero-block pruning) as
+        # make_elastic_operator: accumulation order is part of the contract
+        self.offsets = [off for off, blk in blocks.items() if np.any(np.abs(blk) > 1e-14)]
+        self.blocks = blocks
+        self.mask = np.ones((n, n, n)) if mask is None else np.asarray(mask, dtype=float)
+        z = np.arange(n)[:, None, None]
+        self.free = (z > 0) * self.mask  # projector: active nodes off the fixed base
+        self.u = np.zeros((3, n, n, n))
+        self.b = np.zeros((3, n, n, n))
+        self.b[0] = np.where((z == n - 1) & (self.mask > 0.5), pressure, 0.0)
+
+    def _apply(self, u: np.ndarray) -> np.ndarray:
+        """q <- P M A (M P u) + (I - P) u, ordered like the two containers."""
+        n = self.n
+        mu = self.free * u  # the project container (map), per component
+        mu_pad = np.zeros((3, n + 2, n + 2, n + 2))
+        mu_pad[:, 1:-1, 1:-1, 1:-1] = mu  # ghost layer = outside_value 0
+        acc = np.zeros((3, n, n, n))
+        for off in self.offsets:
+            blk = self.blocks[off]
+            dz, dy, dx = off
+            nbr = mu_pad[:, 1 + dz : 1 + dz + n, 1 + dy : 1 + dy + n, 1 + dx : 1 + dx + n]
+            for c in range(3):
+                for d in range(3):
+                    if blk[c, d] != 0.0:
+                        acc[c] += blk[c, d] * nbr[d]
+        out = np.empty_like(u)
+        for c in range(3):
+            out[c] = np.where(self.free > 0.5, acc[c], u[c])
+        return out
+
+    def solve(self, max_iterations: int = 300, tolerance: float = 1e-8) -> NativeCGResult:
+        q = self._apply(self.u)
+        r = self.b - q
+        delta = slice_dot(r, r)
+        res = NativeCGResult(False, 0, [float(np.sqrt(delta))])
+        if res.residual_norms[0] <= tolerance:
+            res.converged = True
+            return res
+        p = np.zeros_like(r)
+        beta = 0.0
+        for it in range(1, max_iterations + 1):
+            # p-update exactly as _axpby_cell: beta == 0 assigns outright
+            p = 1.0 * r if beta == 0.0 else 1.0 * r + beta * p
+            q = self._apply(p)
+            pq = slice_dot(p, q)
+            alpha = delta / pq
+            self.u = alpha * p + 1.0 * self.u
+            r = -alpha * q + 1.0 * r
+            delta_new = slice_dot(r, r)
+            res.residual_norms.append(float(np.sqrt(delta_new)))
+            res.iterations = it
+            if res.residual_norms[-1] <= tolerance:
+                res.converged = True
+                break
+            beta = delta_new / delta
+            delta = delta_new
+        return res
+
+    def displacement(self) -> np.ndarray:
+        return self.u.copy()

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .reductions import slice_dot
+
 
 def apply_neg_laplacian(u_padded: np.ndarray, out_padded: np.ndarray) -> None:
     """out <- (-laplace_h) u on the interior of padded (ghosted) arrays."""
@@ -54,7 +56,9 @@ class NativePoissonCG:
         p_pad = np.zeros_like(self.u)
         apply_neg_laplacian(self.u, q_pad)
         r = self.f - q_pad[inner]
-        delta = float(np.dot(r.ravel(), r.ravel()))
+        # canonical per-slice dot: bitwise identical to the framework's
+        # partition-invariant reduction, so the trajectories are comparable
+        delta = slice_dot(r[None], r[None])
         res = NativeCGResult(False, 0, [float(np.sqrt(delta))])
         if res.residual_norms[0] <= tolerance:
             res.converged = True
@@ -64,10 +68,10 @@ class NativePoissonCG:
             apply_neg_laplacian(p_pad, q_pad)
             q = q_pad[inner]
             p = p_pad[inner]
-            alpha = delta / float(np.dot(p.ravel(), q.ravel()))
+            alpha = delta / slice_dot(p[None], q[None])
             self.u[inner] += alpha * p
             r -= alpha * q
-            delta_new = float(np.dot(r.ravel(), r.ravel()))
+            delta_new = slice_dot(r[None], r[None])
             res.residual_norms.append(float(np.sqrt(delta_new)))
             res.iterations = it
             if res.residual_norms[-1] <= tolerance:

@@ -94,7 +94,13 @@ def axpby(grid: Grid, alpha: float, x, beta: float, y, name: str = "axpby") -> C
 
 
 def dot(grid: Grid, x, y, partial: MemSet, name: str = "dot") -> Container:
-    """partial[rank] <- sum over the rank's cells of x . y (all components)."""
+    """partial <- partial sums over the rank's cells of x . y (all components).
+
+    With a per-slice partial (``grid.new_dot_partial``) the deposits are
+    canonical per-slice sums and the combined scalar is bitwise
+    partition-invariant; with a legacy per-rank partial the whole span
+    folds into one slot, as before.
+    """
     _check(grid, x, y)
 
     def loading(loader):
@@ -103,7 +109,7 @@ def dot(grid: Grid, x, y, partial: MemSet, name: str = "dot") -> Container:
         acc = loader.reduce_target(partial)
 
         def compute(span):
-            acc.deposit(float(np.sum(xp.view_all(span) * yp.view_all(span))))
+            acc.deposit_sums(span, xp.view_all(span) * yp.view_all(span))
 
         return compute
 
@@ -161,7 +167,7 @@ def total(grid: Grid, x, partial: MemSet, name: str = "sum") -> Container:
         acc = loader.reduce_target(partial)
 
         def compute(span):
-            acc.deposit(float(np.sum(xp.view_all(span))))
+            acc.deposit_sums(span, xp.view_all(span))
 
         return compute
 
@@ -183,6 +189,13 @@ class ScalarResult:
     def value(self) -> float:
         if self.partial.virtual:
             raise RuntimeError("reduction partials of a virtual grid have no payload")
+        if getattr(self.partial, "slice_reduce", False):
+            # per-slice partials: concatenating the rank rows in rank
+            # order reproduces the global slice order, so the summation
+            # tree depends only on the domain extent — bitwise identical
+            # for every partition (sum-only; see Grid.new_dot_partial)
+            rows = [np.asarray(self.partial.partition(r).array) for r in range(self.partial.num_devices)]
+            return float(np.sum(np.concatenate(rows)))
         vals = [float(self.partial.partition(r).array[0]) for r in range(self.partial.num_devices)]
         out = vals[0]
         for v in vals[1:]:

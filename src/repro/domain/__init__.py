@@ -6,7 +6,7 @@ from .field import Field
 from .grid import Grid
 from .halo import HaloMsg, exchange_pairs
 from .layout import Layout
-from .partition import partition_imbalance, slab_partition, weighted_slab_partition
+from .partition import normalized_shares, partition_imbalance, slab_partition, weighted_slab_partition
 from .sparse_grid import SparseField, SparseFieldPartition, SparseGrid
 from .stencil import (
     D2Q9_STENCIL,
@@ -43,6 +43,7 @@ __all__ = [
     "exchange_pairs",
     "geometry",
     "validate",
+    "normalized_shares",
     "partition_imbalance",
     "slab_partition",
     "star",

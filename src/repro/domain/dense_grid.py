@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sets.memset import MemSet
 from repro.system import Backend
 
 from .field import Field
 from .grid import Grid
 from .halo import HaloMsg, exchange_pairs, staged_copy
 from .layout import Layout
-from .partition import slab_partition
+from .partition import normalized_shares, slab_partition, weighted_slab_partition
 from .stencil import Stencil
 from .views import DataView, DenseStrip, MultiSpan
 
@@ -40,9 +41,24 @@ class DenseGrid(Grid):
         mask: np.ndarray | None = None,
         name: str = "",
         virtual: bool = False,
+        partition_weights=None,
     ):
         super().__init__(backend, shape, stencils, name or "dense", virtual)
-        self.bounds = slab_partition(shape[0], backend.num_devices)
+        if partition_weights is None:
+            self.bounds = slab_partition(shape[0], backend.num_devices)
+            self.partition_weights = None
+        else:
+            # heterogeneous machines: slab sizes proportional to each
+            # device's capability share (the autotuner's knob), clamped so
+            # every slab still holds disjoint boundary regions
+            shares = normalized_shares(partition_weights, backend.num_devices)
+            self.bounds = weighted_slab_partition(
+                np.ones(shape[0]),
+                backend.num_devices,
+                min_size=max(1, 2 * self.radius),
+                shares=shares,
+            )
+            self.partition_weights = tuple(float(s) for s in shares)
         self.lateral = int(np.prod(shape[1:]))
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
@@ -85,6 +101,21 @@ class DenseGrid(Grid):
 
     def span_for(self, rank: int, view: DataView):
         return self._spans[rank][view]
+
+    def new_dot_partial(self, name: str, dtype=np.float64):
+        """One slot per owned slice: the partition-invariant reduction.
+
+        Dense spans index whole slices, so every reduce launch can
+        deposit canonical per-slice sums; concatenating the rank rows in
+        rank order reproduces the global slice order no matter where the
+        slab cuts fall, making the combined scalar bitwise identical
+        across device counts, partition weights, OCC levels, and
+        execution modes.
+        """
+        counts = [self.local_slices(r) for r in range(self.num_devices)]
+        partial = MemSet(self.backend, counts, dtype, name=name, virtual=self.virtual)
+        partial.slice_reduce = True
+        return partial
 
     # -- fields ------------------------------------------------------------------
     def new_field(

@@ -127,5 +127,16 @@ class Grid(MultiDeviceData, abc.ABC):
         """One reduction slot per device, for ReduceOp containers."""
         return MemSet(self.backend, [1] * self.num_devices, dtype, name=name, virtual=self.virtual)
 
+    def new_dot_partial(self, name: str, dtype=np.float64) -> MemSet:
+        """Partial buffer for *partition-invariant* sum reductions.
+
+        Grids that can, override this with a per-axis-0-slice partial
+        whose combined value is bitwise identical for any device count,
+        OCC level, or execution mode (see ``SliceReduceAccessor``).  The
+        base implementation falls back to the per-rank partial, whose
+        combined value depends on where the slab cuts fall.
+        """
+        return self.new_reduce_partial(name, dtype)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name}, shape={self.shape}, devices={self.num_devices})"

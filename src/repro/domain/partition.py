@@ -34,16 +34,46 @@ def slab_partition(extent: int, num_parts: int) -> list[tuple[int, int]]:
     return bounds
 
 
+def normalized_shares(shares, num_parts: int) -> np.ndarray:
+    """Validate per-part capability shares; normalise them to sum 1.
+
+    ``None`` and the all-zero degenerate case (every device equally
+    useless) both resolve to equal shares instead of dividing by zero.
+    """
+    if shares is None:
+        return np.full(num_parts, 1.0 / num_parts)
+    shares = np.asarray(shares, dtype=np.float64)
+    if shares.shape != (num_parts,):
+        raise ValueError(f"need one share per part: shape {shares.shape} != ({num_parts},)")
+    if not np.all(np.isfinite(shares)):
+        raise ValueError(f"shares must be finite, got {shares}")
+    if np.any(shares < 0):
+        raise ValueError(f"shares must be non-negative, got {shares}")
+    total = float(shares.sum())
+    if total == 0.0:
+        return np.full(num_parts, 1.0 / num_parts)
+    return shares / total
+
+
 def weighted_slab_partition(
-    weights: np.ndarray, num_parts: int, min_size: int = 1
+    weights: np.ndarray, num_parts: int, min_size: int = 1, shares=None
 ) -> list[tuple[int, int]]:
-    """Split slices ``[0, len(weights))`` into contiguous slabs of near-equal weight.
+    """Split slices ``[0, len(weights))`` into contiguous slabs whose loads
+    track the per-part ``shares``.
 
     ``weights[i]`` is the load of slice ``i`` (for a sparse grid: its
-    active-cell count).  Greedy prefix cutting at ideal quantiles.  Every
-    slab gets at least ``min_size`` slices — a grid with halo radius ``h``
-    needs slabs of at least ``2h`` so its low and high boundary regions
-    stay disjoint.
+    active-cell count; for a dense grid: all ones).  ``shares[r]`` is the
+    fraction of the total load part ``r`` should carry — the Domain-level
+    hook for heterogeneous machines, where the autotuner passes each
+    device's relative throughput.  ``shares=None`` means equal parts (the
+    historical equal-load behaviour).  Greedy prefix cutting at the share
+    quantiles.  Every slab gets at least ``min_size`` slices — a grid
+    with halo radius ``h`` needs slabs of at least ``2h`` so its low and
+    high boundary regions stay disjoint.
+
+    The all-zero degenerate cases fall back instead of dividing by zero:
+    zero total *weight* distributes slices (not load) by share, and zero
+    total *share* means equal shares.
     """
     weights = np.asarray(weights, dtype=np.float64)
     extent = len(weights)
@@ -55,20 +85,26 @@ def weighted_slab_partition(
         raise ValueError(
             f"cannot split {extent} slices into {num_parts} slabs of at least {min_size} slices"
         )
+    if not np.all(np.isfinite(weights)):
+        raise ValueError("weights must be finite")
     if np.any(weights < 0):
         raise ValueError("weights must be non-negative")
+    shares = normalized_shares(shares, num_parts)
     total = float(weights.sum())
     if total == 0.0:
-        return slab_partition(extent, num_parts)
+        # no load information: distribute the *slices* proportionally
+        weights = np.ones(extent, dtype=np.float64)
+        total = float(extent)
 
     prefix = np.concatenate([[0.0], np.cumsum(weights)])
+    cum_share = np.cumsum(shares)
     bounds = []
     start = 0
     for r in range(num_parts):
         if r == num_parts - 1:
             stop = extent
         else:
-            target = total * (r + 1) / num_parts
+            target = total * float(cum_share[r])
             stop = int(np.searchsorted(prefix, target, side="left"))
             # honour the minimum slab size here and for the remaining parts
             stop = max(stop, start + min_size)
@@ -78,11 +114,27 @@ def weighted_slab_partition(
     return bounds
 
 
-def partition_imbalance(weights: np.ndarray, bounds: list[tuple[int, int]]) -> float:
-    """Max-over-mean load ratio of a partitioning (1.0 = perfect balance)."""
+def partition_imbalance(weights: np.ndarray, bounds: list[tuple[int, int]], shares=None) -> float:
+    """Worst-case overload ratio of a partitioning (1.0 = perfect balance).
+
+    Without ``shares`` this is the classic max-over-mean load ratio.
+    With ``shares`` each part's load is measured against its *target*
+    fraction ``total * share_r``, so 1.0 means every device carries
+    exactly the work its capability share asked for.  A part with zero
+    share but non-zero load is infinitely overloaded.
+    """
     weights = np.asarray(weights, dtype=np.float64)
     loads = [float(weights[a:b].sum()) for a, b in bounds]
-    mean = sum(loads) / len(loads)
-    if mean == 0.0:
+    total = sum(loads)
+    if total == 0.0:
         return 1.0
-    return max(loads) / mean
+    shares = normalized_shares(shares, len(bounds))
+    worst = 0.0
+    for load, share in zip(loads, shares):
+        target = total * float(share)
+        if target == 0.0:
+            if load > 0.0:
+                return float("inf")
+            continue
+        worst = max(worst, load / target)
+    return worst

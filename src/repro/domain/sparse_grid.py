@@ -53,6 +53,7 @@ class SparseGrid(Grid):
         name: str = "",
         virtual: bool = False,
         indirection: float | None = None,
+        partition_weights=None,
     ):
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
@@ -87,8 +88,20 @@ class SparseGrid(Grid):
         self._num_active = int(per_slice.sum())
         if self._num_active == 0:
             raise ValueError("sparse grid has no active cells")
+        # active-cell balance (the Domain level's duty), scaled by the
+        # per-device capability shares when a tuner provides them
+        from .partition import normalized_shares  # noqa: PLC0415 - sibling import
+
+        self.partition_weights = (
+            None
+            if partition_weights is None
+            else tuple(float(s) for s in normalized_shares(partition_weights, backend.num_devices))
+        )
         self.bounds = weighted_slab_partition(
-            per_slice, backend.num_devices, min_size=max(1, 2 * self.radius)
+            per_slice,
+            backend.num_devices,
+            min_size=max(1, 2 * self.radius),
+            shares=self.partition_weights,
         )
 
         h = self.radius

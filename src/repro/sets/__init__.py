@@ -3,7 +3,7 @@
 from .container import Container
 from .dataset import DataSet, MultiDeviceData, Span
 from .launch import estimate_cost
-from .loader import Access, AccessToken, Loader, Pattern, ReduceAccessor, ReduceMode
+from .loader import Access, AccessToken, Loader, Pattern, ReduceAccessor, ReduceMode, SliceReduceAccessor
 from .memset import LinearSpan, MemPartition, MemSet
 from .mstream import MultiEvent, MultiStream
 from .views import DataView
@@ -24,6 +24,7 @@ __all__ = [
     "Pattern",
     "ReduceAccessor",
     "ReduceMode",
+    "SliceReduceAccessor",
     "Span",
     "estimate_cost",
 ]

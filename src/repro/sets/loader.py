@@ -82,6 +82,44 @@ class ReduceAccessor:
         else:
             self._row[0] = self.op(self._row[0], value)
 
+    def deposit_sums(self, span, values) -> None:
+        """Fold the span's whole value array into the rank's single slot."""
+        self.deposit(float(np.sum(values)))
+
+
+class SliceReduceAccessor:
+    """Rank-local handle for per-axis-0-slice partial sums.
+
+    One slot per owned slice instead of one per rank: each deposit is the
+    sum over one slice's cells, an array whose logical shape depends only
+    on the grid's lateral extent — never on how slices are distributed
+    over devices or split into internal/boundary launches.  Combined in
+    global slice order on the host (:class:`repro.core.ops.ScalarResult`),
+    the reduction is bitwise independent of partition, OCC level, and
+    execution mode.
+
+    Slices are disjoint between launch pieces (INTERNAL and BOUNDARY
+    strips never share a slice), so every deposit assigns its slots
+    outright; :class:`ReduceMode` never needs to accumulate here.
+    """
+
+    def __init__(self, partial: MemSet, rank: int, op, mode: ReduceMode):
+        self._row = partial.partition(rank).array
+        self.op = op
+        self.mode = mode
+
+    def deposit_sums(self, span, values) -> None:
+        """Deposit one canonical sum per slice of ``span``.
+
+        ``values`` is the component-first span array (``view_all`` shape):
+        axis 1 walks the span's slices.  Each slice is copied contiguous
+        before summing so NumPy's pairwise tree sees the same memory
+        layout no matter the source field's layout or slab size.
+        """
+        lo = span.lo
+        for i in range(span.hi - lo):
+            self._row[lo + i] = float(np.sum(np.ascontiguousarray(values[:, i])))
+
 
 class Loader:
     """Per-rank, per-launch loading context handed to the loading lambda.
@@ -121,9 +159,16 @@ class Loader:
     def read_write(self, data: MultiDeviceData):
         return self.load(data, Access.READ_WRITE, Pattern.MAP)
 
-    def reduce_target(self, partial: MemSet, op=np.add) -> ReduceAccessor:
-        """Declare this container reduces into ``partial`` (one slot/rank)."""
+    def reduce_target(self, partial: MemSet, op=np.add) -> ReduceAccessor | SliceReduceAccessor:
+        """Declare this container reduces into ``partial``.
+
+        Legacy partials carry one slot per rank; partials marked
+        ``slice_reduce`` (see ``Grid.new_dot_partial``) carry one slot per
+        owned axis-0 slice and get the partition-invariant accessor.
+        """
+        self.tokens.append(AccessToken(partial, Access.READ_WRITE, Pattern.REDUCE))
+        if getattr(partial, "slice_reduce", False):
+            return SliceReduceAccessor(partial, self.rank, op, self.reduce_mode)
         if partial.counts != [1] * partial.num_devices:
             raise ValueError(f"{partial.name}: reduce partials need exactly one slot per device")
-        self.tokens.append(AccessToken(partial, Access.READ_WRITE, Pattern.REDUCE))
         return ReduceAccessor(partial, self.rank, op, self.reduce_mode)

@@ -3,7 +3,17 @@
 from .costmodel import kernel_duration, transfer_duration
 from .calibrate import KernelSample, TransferSample, fit_device, fit_link, fit_quality
 from .des import SimulationDeadlock, simulate
-from .machine import DeviceSpec, MachineSpec, cpu_host, dgx_a100, multi_node_a100, pcie_a100, pcie_gv100
+from .machine import (
+    DeviceSpec,
+    MachineSpec,
+    cpu_host,
+    dgx_a100,
+    mixed_pcie,
+    multi_node_a100,
+    pcie_a100,
+    pcie_gv100,
+)
+from .replay import sim_makespan, sim_makespan_total, sim_replay
 from .topology import HOST_RANK, Link, Topology
 from .trace import Span, SpanKind, Trace
 
@@ -25,9 +35,13 @@ __all__ = [
     "fit_link",
     "fit_quality",
     "kernel_duration",
+    "mixed_pcie",
     "multi_node_a100",
     "pcie_a100",
     "pcie_gv100",
+    "sim_makespan",
+    "sim_makespan_total",
+    "sim_replay",
     "simulate",
     "transfer_duration",
 ]

@@ -38,8 +38,19 @@ class SimulationDeadlock(RuntimeError):
     """The queues cannot make progress (wait on a never-recorded event)."""
 
 
-def simulate(queues: list[CommandQueue], machine: MachineSpec) -> Trace:
-    """Simulate the queues to completion and return the timing trace."""
+def simulate(
+    queues: list[CommandQueue],
+    machine: MachineSpec,
+    issue_times: dict[int, float] | None = None,
+) -> Trace:
+    """Simulate the queues to completion and return the timing trace.
+
+    ``issue_times`` (keyed by ``Command.issue_seq``) optionally models the
+    host side: a command cannot *start* before the host issued it.  The
+    replay helpers use this to distinguish serial host dispatch (one
+    thread issues everything in task-list order) from parallel dispatch
+    (one worker per device); without it, issue is treated as free.
+    """
     pcs = [0] * len(queues)
     last_finish = [0.0] * len(queues)
     event_done: dict[int, float] = {}
@@ -61,6 +72,8 @@ def simulate(queues: list[CommandQueue], machine: MachineSpec) -> Trace:
                 continue
             cmd = q.commands[pc]
             ready = last_finish[qi]
+            if issue_times is not None:
+                ready = max(ready, issue_times.get(cmd.issue_seq, 0.0))
             if isinstance(cmd, WaitEventCommand):
                 if cmd.event.uid not in recorded_anywhere:
                     raise SimulationDeadlock(
@@ -74,7 +87,7 @@ def simulate(queues: list[CommandQueue], machine: MachineSpec) -> Trace:
             elif isinstance(cmd, KernelCommand):
                 resource = f"compute:{q.device.uid}"
                 start = max(ready, resource_avail.get(resource, 0.0))
-                dur = kernel_duration(cmd.cost, machine.device)
+                dur = kernel_duration(cmd.cost, machine.device_spec(q.device.index))
                 kind = SpanKind.KERNEL
             elif isinstance(cmd, CopyCommand):
                 resource = f"link:{cmd.src.index}->{cmd.dst.index}"

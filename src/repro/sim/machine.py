@@ -32,19 +32,55 @@ class DeviceSpec:
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """A whole single-node machine: devices plus interconnect."""
+    """A whole single-node machine: devices plus interconnect.
+
+    ``device`` is the performance envelope shared by every rank;
+    heterogeneous machines (mixed GPU generations on one PCIe switch,
+    the placement regime Ripple argues for) override individual ranks
+    through ``device_overrides``.  :meth:`device_spec` is the single
+    lookup every consumer — DES, cost model, autotuner — goes through.
+    """
 
     name: str
     device: DeviceSpec
     topology: Topology
+    device_overrides: tuple[tuple[int, DeviceSpec], ...] = ()
+
+    def __post_init__(self) -> None:
+        for rank, spec in self.device_overrides:
+            if not 0 <= rank < self.num_devices:
+                raise ValueError(f"device override rank {rank} outside [0, {self.num_devices})")
+            if not isinstance(spec, DeviceSpec):
+                raise TypeError(f"device override for rank {rank} is not a DeviceSpec: {spec!r}")
 
     @property
     def num_devices(self) -> int:
         return self.topology.num_devices
 
+    @property
+    def is_heterogeneous(self) -> bool:
+        return any(spec != self.device for _, spec in self.device_overrides)
+
+    def device_spec(self, rank: int) -> DeviceSpec:
+        """Per-rank performance envelope (the override, if one exists)."""
+        for r, spec in self.device_overrides:
+            if r == rank:
+                return spec
+        return self.device
+
+    def device_specs(self) -> list[DeviceSpec]:
+        return [self.device_spec(r) for r in range(self.num_devices)]
+
     def with_devices(self, count: int) -> "MachineSpec":
         """Same machine class, different GPU count (for scaling sweeps)."""
-        return replace(self, topology=self.topology.resized(count))
+        overrides = tuple((r, spec) for r, spec in self.device_overrides if r < count)
+        return replace(self, topology=self.topology.resized(count), device_overrides=overrides)
+
+    def with_device_overrides(self, overrides: dict[int, DeviceSpec]) -> "MachineSpec":
+        """Copy of this machine with some ranks' specs replaced."""
+        merged = {r: s for r, s in self.device_overrides}
+        merged.update(overrides)
+        return replace(self, device_overrides=tuple(sorted(merged.items())))
 
 
 def dgx_a100(num_devices: int = 8) -> MachineSpec:
@@ -89,6 +125,28 @@ def pcie_gv100(num_devices: int = 8) -> MachineSpec:
         topology=Topology.all_to_all(
             num_devices, bandwidth=1.1e10, latency=1.2e-5, host_bandwidth=1.1e10, host_latency=1.2e-5
         ),
+    )
+
+
+def mixed_pcie(num_devices: int = 8) -> MachineSpec:
+    """Heterogeneous PCIe box: A100-class cards sharing a Gen3 switch with
+    older GV100-class cards (the odd ranks).
+
+    Upgraded-in-place workstations look exactly like this — half the
+    slots got new GPUs, half kept the old ones — and it is the regime
+    where uniform slabs visibly lose: the slow cards finish last every
+    iteration, so the makespan tracks the *worst* device.  The autotuner
+    exists to close that gap with proportionally sized slabs.
+    """
+    fast = DeviceSpec(mem_bandwidth=1.4e12, flops=9.7e12, launch_overhead=4e-6)
+    slow = DeviceSpec(mem_bandwidth=7.8e11, flops=7.4e12, launch_overhead=6e-6)
+    return MachineSpec(
+        name=f"mixed-pcie-{num_devices}",
+        device=fast,
+        topology=Topology.all_to_all(
+            num_devices, bandwidth=1.13e10, latency=1.2e-5, host_bandwidth=1.13e10, host_latency=1.2e-5
+        ),
+        device_overrides=tuple((r, slow) for r in range(1, num_devices, 2)),
     )
 
 

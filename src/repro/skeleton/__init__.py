@@ -13,7 +13,7 @@ from .executor import DependencyViolation, check_trace_dependencies, simulate_re
 from .mgraph import build_multi_gpu_graph, expand_with_halo_nodes
 from .occ import Occ, OccReport, apply_occ
 from .scheduler import CompiledProgram, ExecutionResult, Plan, ScheduleStats
-from .skeleton import Skeleton
+from .skeleton import Skeleton, TuneDecision
 from .unroll import steady_state_iteration_time, unroll, unrolled_skeleton
 from .viz import graph_to_dot
 
@@ -31,6 +31,7 @@ __all__ = [
     "ScheduleStats",
     "Scope",
     "Skeleton",
+    "TuneDecision",
     "apply_occ",
     "build_dependency_graph",
     "build_multi_gpu_graph",

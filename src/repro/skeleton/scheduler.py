@@ -130,6 +130,9 @@ class Plan:
         self.graph = graph
         self.backend = backend
         self.reuse_parent_streams = reuse_parent_streams
+        #: execution mode used when ``execute``/``run`` gets ``mode=None``;
+        #: the autotuner overwrites this with the mode it selected
+        self.default_mode = "serial"
         self.levels = graph.bfs_levels(with_hints=False)
         self.num_streams = max(len(lvl) for lvl in self.levels)
         self.stream_of: dict[int, int] = {}
@@ -463,16 +466,20 @@ class Plan:
         self._engine.execute(program.queues, run_command=lambda cmd: self._run_step(program.step_of[cmd]))
 
     # -- phase c: execution -----------------------------------------------------
-    def execute(self, eager: bool = True, mode: str = "serial") -> ExecutionResult:
+    def execute(self, eager: bool = True, mode: str | None = None) -> ExecutionResult:
         """Replay the compiled program (freezing it on first use).
 
         ``eager=False`` returns the recorded queues without running any
         kernel (timing-only).  ``mode="serial"`` replays on the host in
         task-list order; ``mode="parallel"`` uses the per-device worker
-        engine.  An armed resilience session forces serial replay with a
+        engine; ``mode=None`` uses :attr:`default_mode` (serial unless
+        the autotuner chose otherwise).  An armed resilience session
+        forces serial replay with a
         :class:`~repro.system.ParallelFallbackWarning`, because rollback-
         and-replay recovery assumes host-ordered execution.
         """
+        if mode is None:
+            mode = self.default_mode
         if mode not in ("serial", "parallel"):
             raise ValueError(f"unknown execution mode {mode!r}; expected 'serial' or 'parallel'")
         with _obs.span("plan.execute", cat="phase", eager=eager, mode=mode):

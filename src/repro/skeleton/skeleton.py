@@ -11,6 +11,8 @@ the performance model.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro import observability as _obs
 from repro import resilience as _res
 from repro.sets import Container
@@ -21,6 +23,29 @@ from .executor import check_trace_dependencies, enforce_divergence_guardrail, si
 from .mgraph import build_multi_gpu_graph
 from .occ import Occ, OccReport, apply_occ
 from .scheduler import ExecutionResult, Plan
+
+
+@dataclass(frozen=True)
+class TuneDecision:
+    """What :meth:`Skeleton.autotune` chose, and why.
+
+    ``candidates`` holds every scored ``(occ, mode, makespan)`` triple;
+    ``baseline_makespan`` is the configuration the skeleton had before
+    tuning, so ``improvement`` is directly the fraction of simulated
+    time the adopted configuration saves.
+    """
+
+    occ: "Occ"
+    mode: str
+    makespan: float
+    baseline_makespan: float
+    candidates: tuple[tuple[str, str, float], ...]
+
+    @property
+    def improvement(self) -> float:
+        if self.baseline_makespan <= 0.0:
+            return 0.0
+        return 1.0 - self.makespan / self.baseline_makespan
 
 
 class Skeleton:
@@ -51,10 +76,12 @@ class Skeleton:
             _obs.OBS.metrics.counter("skeletons_compiled", occ=occ.value).inc()
         self.last_result: ExecutionResult | None = None
 
-    def run(self, mode: str = "serial") -> ExecutionResult:
+    def run(self, mode: str | None = None) -> ExecutionResult:
         """Execute once on the backend's devices; results land in the fields.
 
-        ``mode="serial"`` (default) replays the compiled program on the
+        ``mode=None`` (default) uses the plan's default execution mode —
+        serial unless :meth:`autotune` selected otherwise.
+        ``mode="serial"`` replays the compiled program on the
         host in task-list order — the exact historical semantics.
         ``mode="parallel"`` replays through the
         :class:`~repro.system.ParallelEngine`: one worker thread per
@@ -77,6 +104,59 @@ class Skeleton:
     def record(self) -> ExecutionResult:
         """Record the schedule without executing kernels (timing-only)."""
         return self.plan.execute(eager=False)
+
+    def autotune(
+        self,
+        machine: MachineSpec | None = None,
+        occ_levels=None,
+        modes: tuple[str, ...] = ("serial", "parallel"),
+    ) -> TuneDecision:
+        """Pick the OCC level and execution mode with the best simulated
+        makespan, and adopt them in place.
+
+        Every candidate is scored by replaying its recorded command
+        stream through the DES under ``machine`` (no wall clock
+        involved).  The winning OCC's compiled plan replaces this
+        skeleton's, and the winning mode becomes the plan's default, so
+        subsequent ``run()`` calls use the tuned configuration.  Weights
+        are not searched here — re-partitioning needs a grid rebuild;
+        see :func:`repro.tuner.tune_workload` for the full search.
+        """
+        from repro.sim.replay import sim_makespan  # noqa: PLC0415 - keep sim out of hot imports
+
+        machine = machine or self.backend.machine
+        occ_levels = list(occ_levels) if occ_levels is not None else list(Occ)
+        baseline = sim_makespan(self.record(), machine, mode=self.plan.default_mode)
+        candidates: list[tuple[str, str, float]] = []
+        best: tuple[float, "Skeleton", Occ, str] | None = None
+        for occ in occ_levels:
+            sk = (
+                self
+                if occ is self.occ
+                else Skeleton(self.backend, self.containers, occ=occ, name=self.name)
+            )
+            rec = sk.record()
+            for mode in modes:
+                t = sim_makespan(rec, machine, mode=mode)
+                candidates.append((occ.value, mode, t))
+                if best is None or t < best[0]:
+                    best = (t, sk, occ, mode)
+        assert best is not None
+        makespan, winner, occ, mode = best
+        if winner is not self:
+            self.graph = winner.graph
+            self.occ_report = winner.occ_report
+            self.redundant_edges_removed = winner.redundant_edges_removed
+            self.plan = winner.plan
+            self.occ = occ
+        self.plan.default_mode = mode
+        return TuneDecision(
+            occ=occ.value,
+            mode=mode,
+            makespan=makespan,
+            baseline_makespan=baseline,
+            candidates=tuple(candidates),
+        )
 
     def trace(self, machine: MachineSpec | None = None, result: ExecutionResult | None = None) -> Trace:
         """Simulated timeline of one execution under the machine model."""

@@ -103,8 +103,10 @@ class ConjugateGradient:
         self.r = grid.new_field(f"{name}_r", cardinality=card)
         self.p = grid.new_field(f"{name}_p", cardinality=card)
         self.q = grid.new_field(f"{name}_q", cardinality=card)
-        self.pq_partial = grid.new_reduce_partial(f"{name}_pq")
-        self.rr_partial = grid.new_reduce_partial(f"{name}_rr")
+        # per-slice partials make both CG scalars (hence the whole
+        # trajectory) bitwise partition-invariant on grids that support it
+        self.pq_partial = grid.new_dot_partial(f"{name}_pq")
+        self.rr_partial = grid.new_dot_partial(f"{name}_rr")
         self.alpha = {"v": 0.0}
         self.beta = {"v": 0.0}
         self.neg_alpha = {"v": 0.0}

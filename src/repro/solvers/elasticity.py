@@ -212,6 +212,7 @@ class ElasticitySolver:
         solid_fraction: float = 1.0,
         sparse: bool = False,
         virtual: bool = False,
+        partition_weights=None,
         **kw,
     ) -> "ElasticitySolver":
         """The Fig 9 geometry: a solid cuboid inside an N^3 grid.
@@ -229,18 +230,32 @@ class ElasticitySolver:
             if virtual:
                 per_slice = np.full(n, edge * edge, dtype=np.int64)
                 grid = SparseGrid(
-                    backend, shape=(n, n, n), stencils=[STENCIL_27PT], active_per_slice=per_slice, virtual=True
+                    backend,
+                    shape=(n, n, n),
+                    stencils=[STENCIL_27PT],
+                    active_per_slice=per_slice,
+                    virtual=True,
+                    partition_weights=partition_weights,
                 )
             else:
                 mask = np.zeros((n, n, n), dtype=bool)
                 mask[:, lo : lo + edge, lo : lo + edge] = True
-                grid = SparseGrid(backend, mask=mask, stencils=[STENCIL_27PT])
+                grid = SparseGrid(
+                    backend, mask=mask, stencils=[STENCIL_27PT], partition_weights=partition_weights
+                )
         else:
             mask = None
             if not full and not virtual:
                 mask = np.zeros((n, n, n), dtype=bool)
                 mask[:, lo : lo + edge, lo : lo + edge] = True
-            grid = DenseGrid(backend, (n, n, n), stencils=[STENCIL_27PT], mask=mask, virtual=virtual)
+            grid = DenseGrid(
+                backend,
+                (n, n, n),
+                stencils=[STENCIL_27PT],
+                mask=mask,
+                virtual=virtual,
+                partition_weights=partition_weights,
+            )
         return cls(grid, top_z=n - 1, **kw)
 
     def solve(self, max_iterations: int = 300, tolerance: float = 1e-8) -> CGResult:

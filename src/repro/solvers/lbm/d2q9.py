@@ -98,6 +98,7 @@ class KarmanVortexStreet:
         virtual: bool = False,
         sparse: bool = False,
         lattice: LatticeSpec = D2Q9,
+        partition_weights=None,
     ):
         ny, nx = shape
         self.backend = backend
@@ -113,9 +114,18 @@ class KarmanVortexStreet:
             # absent neighbours return its outside_value 0 = solid
             if virtual:
                 raise ValueError("the sparse Kármán flow needs the real mask; virtual is unsupported")
-            self.grid = SparseGrid(backend, mask=fluid, stencils=[D2Q9_STENCIL], name="karman")
+            self.grid = SparseGrid(
+                backend, mask=fluid, stencils=[D2Q9_STENCIL], name="karman", partition_weights=partition_weights
+            )
         else:
-            self.grid = DenseGrid(backend, shape, stencils=[D2Q9_STENCIL], virtual=virtual, name="karman")
+            self.grid = DenseGrid(
+                backend,
+                shape,
+                stencils=[D2Q9_STENCIL],
+                virtual=virtual,
+                name="karman",
+                partition_weights=partition_weights,
+            )
         self.mask = self.grid.new_field("mask", outside_value=0.0)
         self.f = [
             self.grid.new_field(n, cardinality=lattice.q, outside_value=0.0, layout=layout)

@@ -88,6 +88,7 @@ class LidDrivenCavity:
         virtual: bool = False,
         sparse: bool = False,
         lattice: LatticeSpec = D3Q19,
+        partition_weights=None,
     ):
         self.backend = backend
         self.lattice = lattice
@@ -105,6 +106,7 @@ class LidDrivenCavity:
                     active_per_slice=np.full(shape[0], shape[1] * shape[2], dtype=np.int64),
                     virtual=True,
                     name="cavity",
+                    partition_weights=partition_weights,
                 )
             else:
                 self.grid = SparseGrid(
@@ -112,9 +114,17 @@ class LidDrivenCavity:
                     mask=np.ones(shape, dtype=bool),
                     stencils=[D3Q19_STENCIL],
                     name="cavity",
+                    partition_weights=partition_weights,
                 )
         else:
-            self.grid = DenseGrid(backend, shape, stencils=[D3Q19_STENCIL], virtual=virtual, name="cavity")
+            self.grid = DenseGrid(
+                backend,
+                shape,
+                stencils=[D3Q19_STENCIL],
+                virtual=virtual,
+                name="cavity",
+                partition_weights=partition_weights,
+            )
         self.f = [
             self.grid.new_field(n, cardinality=lattice.q, outside_value=SOLID_SENTINEL, layout=layout)
             for n in ("f0", "f1")

@@ -49,9 +49,17 @@ class PoissonSolver:
         shape: tuple[int, int, int],
         occ: Occ = Occ.STANDARD,
         virtual: bool = False,
+        partition_weights=None,
     ):
         self.backend = backend
-        self.grid = DenseGrid(backend, shape, stencils=[STENCIL_7PT], virtual=virtual, name="poisson")
+        self.grid = DenseGrid(
+            backend,
+            shape,
+            stencils=[STENCIL_7PT],
+            virtual=virtual,
+            name="poisson",
+            partition_weights=partition_weights,
+        )
         self.f = self.grid.new_field("f")
         self.u = self.grid.new_field("u")
         self.cg = ConjugateGradient(self.grid, make_neg_laplacian, self.f, self.u, occ=occ)

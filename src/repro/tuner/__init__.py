@@ -1,0 +1,40 @@
+"""Cost-model-driven autotuner (heterogeneous load balancing).
+
+Closes the loop between the recorded runtime and the simulator:
+
+* :mod:`repro.tuner.weights`   — per-device slab shares from a
+  :class:`~repro.sim.machine.MachineSpec` (compute roofline + link
+  asymmetry water-fill);
+* :mod:`repro.tuner.workloads` — virtual (allocation-free) miniatures of
+  the benchmark applications, rebuildable under any candidate
+  partitioning;
+* :mod:`repro.tuner.search`    — the search over OCC level x execution
+  mode x partition weights, scored by DES replay of each candidate's
+  recorded command stream (never a wall clock);
+* :mod:`repro.tuner.feedback`  — recalibration: fit ``DeviceSpec``s from
+  observed kernel timings and re-tune when the machine model's fit
+  quality degrades.
+
+Entry points: ``Skeleton.autotune(machine=...)`` for an existing
+skeleton (OCC x mode only — re-partitioning needs a grid rebuild), and
+:func:`tune_workload` / ``python -m repro tune`` for the full search.
+"""
+
+from .feedback import CalibrationReport, Recalibrator, kernel_samples_from_trace
+from .search import Candidate, TunePlan, tune_workload
+from .weights import WorkloadProfile, device_shares, profile_workload
+from .workloads import TUNER_WORKLOADS, build_tuner_workload
+
+__all__ = [
+    "TUNER_WORKLOADS",
+    "CalibrationReport",
+    "Candidate",
+    "Recalibrator",
+    "TunePlan",
+    "WorkloadProfile",
+    "build_tuner_workload",
+    "device_shares",
+    "kernel_samples_from_trace",
+    "profile_workload",
+    "tune_workload",
+]

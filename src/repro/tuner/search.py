@@ -1,0 +1,148 @@
+"""The tuner search: OCC level x execution mode x partition weights.
+
+For each candidate triple the workload miniature is rebuilt (weights
+bind at grid construction), its command stream recorded, and the
+recording replayed through the DES under the target
+:class:`~repro.sim.machine.MachineSpec` — the objective is simulated
+seconds per application step, never a wall clock.  The weight axis is
+not enumerated blindly: besides the uniform split, the cost model
+proposes the share vector that equalises per-device step time
+(:func:`repro.tuner.weights.device_shares`), optionally blended halfway
+towards uniform to hedge against model error.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.sim.machine import MachineSpec
+from repro.sim.replay import sim_makespan_total
+from repro.skeleton import Occ
+
+from .weights import device_shares, fixed_seconds, profile_workload
+from .workloads import build_tuner_workload
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One scored configuration."""
+
+    occ: str
+    mode: str
+    weights: tuple[float, ...] | None  # None = uniform split
+    makespan: float
+
+    @property
+    def weights_label(self) -> str:
+        return "uniform" if self.weights is None else "tuned"
+
+
+@dataclass
+class TunePlan:
+    """The tuner's decision for one (experiment, machine) pair."""
+
+    experiment: str
+    machine: str
+    devices: int
+    best: Candidate
+    baseline: Candidate
+    shares: tuple[float, ...]
+    candidates: list[Candidate] = field(default_factory=list)
+    fit_quality: float | None = None
+
+    @property
+    def improvement(self) -> float:
+        """Fraction of the baseline's simulated step time saved."""
+        if self.baseline.makespan <= 0.0:
+            return 0.0
+        return 1.0 - self.best.makespan / self.baseline.makespan
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["improvement"] = self.improvement
+        return d
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @property
+    def best_occ(self) -> Occ:
+        return Occ(self.best.occ)
+
+
+def tune_workload(
+    experiment: str,
+    machine: MachineSpec,
+    devices: int = 4,
+    occ_levels=None,
+    modes: tuple[str, ...] = ("serial", "parallel"),
+    extra_weight_options: tuple = (),
+) -> TunePlan:
+    """Full tuner search for one workload on one machine.
+
+    The baseline — what a user gets with no tuning — is the uniform
+    split at :attr:`Occ.STANDARD` with serial host dispatch; its
+    makespan anchors :attr:`TunePlan.improvement`.
+    """
+    occ_levels = list(occ_levels) if occ_levels is not None else list(Occ)
+
+    # 1. probe: record the uniform workload once to derive the profile
+    #    and the per-rank fixed costs, then let the cost model propose
+    #    capability-proportional shares
+    probe = build_tuner_workload(experiment, machine, devices)
+    profile = profile_workload(probe.plans, probe.num_active)
+    fixed = fixed_seconds(probe.plans, machine, devices)
+    shares = device_shares(machine, devices, profile, probe.num_active, fixed=fixed)
+
+    weight_options: list[tuple[float, ...] | None] = [None]
+    if machine.is_heterogeneous or len(set(np.round(shares, 6))) > 1:
+        tuned = tuple(float(s) for s in shares)
+        weight_options.append(tuned)
+        uniform = np.full(devices, 1.0 / devices)
+        blended = 0.5 * shares + 0.5 * uniform
+        weight_options.append(tuple(float(s) for s in blended / blended.sum()))
+    for extra in extra_weight_options:
+        weight_options.append(tuple(float(w) for w in extra))
+
+    # 2. enumerate: every (weights, occ, mode) triple, scored by DES replay
+    candidates: list[Candidate] = []
+    baseline: Candidate | None = None
+    best: Candidate | None = None
+    for weights in weight_options:
+        for occ in occ_levels:
+            wl = build_tuner_workload(experiment, machine, devices, occ=occ, partition_weights=weights)
+            for mode in modes:
+                t = sim_makespan_total(wl.plans, machine, mode=mode)
+                cand = Candidate(occ=occ.value, mode=mode, weights=weights, makespan=t)
+                candidates.append(cand)
+                if weights is None and occ is Occ.STANDARD and mode == "serial":
+                    baseline = cand
+                if best is None or t < best.makespan:
+                    best = cand
+    if baseline is None:
+        # the default configuration was excluded from the search space;
+        # score it separately so improvement stays anchored
+        wl = build_tuner_workload(experiment, machine, devices, occ=Occ.STANDARD)
+        baseline = Candidate(
+            occ=Occ.STANDARD.value,
+            mode="serial",
+            weights=None,
+            makespan=sim_makespan_total(wl.plans, machine, mode="serial"),
+        )
+    assert best is not None
+    return TunePlan(
+        experiment=experiment,
+        machine=machine.name,
+        devices=devices,
+        best=best,
+        baseline=baseline,
+        shares=tuple(float(s) for s in shares),
+        candidates=candidates,
+    )

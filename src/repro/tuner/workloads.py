@@ -1,0 +1,99 @@
+"""Virtual miniatures of the benchmark applications, for tuner search.
+
+Each builder constructs one application step on *virtual* grids (no
+payload allocation, record-only kernels) so a candidate configuration —
+OCC level plus partition weights — can be compiled and its command
+stream recorded in milliseconds, then scored by DES replay.  The
+returned plans are the step's host-synchronised skeletons in order
+(LBM's single fused kernel, CG's A/B pair), matching what
+:func:`repro.sim.replay.sim_makespan_total` expects.
+
+The miniatures are deliberately the *real* application classes, not
+mocks: the tuner optimises exactly the schedules the full runs compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.skeleton import Occ
+from repro.solvers.elasticity import ElasticitySolver
+from repro.solvers.lbm.d2q9 import KarmanVortexStreet
+from repro.solvers.lbm.d3q19 import LidDrivenCavity
+from repro.solvers.poisson import PoissonSolver
+from repro.system import Backend, DeviceSet
+
+
+@dataclass
+class TunerWorkload:
+    """One recorded candidate: its step's plans plus the grid they ran on."""
+
+    name: str
+    grid: object
+    plans: list
+
+    @property
+    def num_active(self) -> int:
+        return self.grid.num_active
+
+
+# Benchmark-scale domains (the paper's experiments run 192^3..512^3):
+# virtual recording cost is independent of cell count, so the tuner
+# scores the schedule of the size class users actually run, where the
+# compute/communication balance is realistic.  Tiny domains would be
+# gated by per-transfer latency and make every partitioning look alike.
+def _lbm(backend: Backend, occ: Occ, weights) -> TunerWorkload:
+    cavity = LidDrivenCavity(
+        backend, (1024, 96, 96), occ=occ, virtual=True, partition_weights=weights
+    )
+    return TunerWorkload("lbm", cavity.grid, [cavity.skeletons[0].record()])
+
+
+def _karman(backend: Backend, occ: Occ, weights) -> TunerWorkload:
+    flow = KarmanVortexStreet(
+        backend, (8192, 256), occ=occ, virtual=True, partition_weights=weights
+    )
+    return TunerWorkload("karman", flow.grid, [flow.skeletons[0].record()])
+
+
+def _poisson(backend: Backend, occ: Occ, weights) -> TunerWorkload:
+    solver = PoissonSolver(
+        backend, (512, 96, 96), occ=occ, virtual=True, partition_weights=weights
+    )
+    return TunerWorkload("poisson", solver.grid, [solver.cg.sk_a.record(), solver.cg.sk_b.record()])
+
+
+def _elasticity(backend: Backend, occ: Occ, weights) -> TunerWorkload:
+    solver = ElasticitySolver.solid_cube(
+        backend, 96, virtual=True, occ=occ, partition_weights=weights
+    )
+    return TunerWorkload(
+        "elasticity", solver.grid, [solver.cg.sk_a.record(), solver.cg.sk_b.record()]
+    )
+
+
+TUNER_WORKLOADS = {
+    "lbm": _lbm,
+    "karman": _karman,
+    "poisson": _poisson,
+    "elasticity": _elasticity,
+}
+
+
+def build_tuner_workload(
+    name: str,
+    machine,
+    devices: int,
+    occ: Occ = Occ.STANDARD,
+    partition_weights=None,
+) -> TunerWorkload:
+    """Build and record one candidate configuration of a workload.
+
+    A fresh virtual backend is created per candidate: partition weights
+    are bound at grid construction, so every candidate needs its own
+    grids (that is exactly why the miniatures are virtual).
+    """
+    if name not in TUNER_WORKLOADS:
+        raise ValueError(f"unknown workload {name!r}; expected one of {sorted(TUNER_WORKLOADS)}")
+    backend = Backend(DeviceSet.gpus(devices), machine=machine)
+    return TUNER_WORKLOADS[name](backend, occ, partition_weights)

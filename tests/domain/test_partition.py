@@ -3,7 +3,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.domain import partition_imbalance, slab_partition, weighted_slab_partition
+from repro.domain import (
+    normalized_shares,
+    partition_imbalance,
+    slab_partition,
+    weighted_slab_partition,
+)
 
 
 def test_even_split():
@@ -87,3 +92,90 @@ def test_weighted_partition_properties(weights, parts):
 def test_imbalance_of_perfect_split_is_one():
     w = np.ones(8)
     assert partition_imbalance(w, slab_partition(8, 4)) == pytest.approx(1.0)
+
+
+# -- share-aware properties (the autotuner's contract) -----------------------
+
+
+@given(
+    st.lists(st.integers(0, 100), min_size=4, max_size=60),
+    st.integers(1, 6),
+    st.integers(1, 3),
+    st.lists(st.floats(0.0, 10.0), min_size=1, max_size=6),
+)
+def test_weighted_partition_with_shares_properties(weights, parts, min_size, raw_shares):
+    """Full coverage, contiguity and the min_size floor hold for every
+    weight vector, share vector and minimum slab size."""
+    w = np.array(weights, dtype=float)
+    shares = np.resize(np.array(raw_shares, dtype=float), parts)
+    if len(w) < parts * min_size:
+        with pytest.raises(ValueError):
+            weighted_slab_partition(w, parts, min_size=min_size, shares=shares)
+        return
+    bounds = weighted_slab_partition(w, parts, min_size=min_size, shares=shares)
+    assert len(bounds) == parts
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == len(w)
+    for (a, b), (c, _d) in zip(bounds, bounds[1:] + [(len(w), len(w))]):
+        assert b - a >= min_size
+        assert b == c
+
+
+@given(
+    st.lists(st.integers(1, 50), min_size=2, max_size=80),
+    st.integers(1, 8),
+    st.lists(st.floats(0.05, 10.0), min_size=1, max_size=8),
+)
+def test_weighted_partition_additive_load_bound(weights, parts, raw_shares):
+    """Provable quality bound of the greedy prefix cut (min_size=1,
+    strictly positive weights): every part's load exceeds its target
+    ``total * share_r`` by at most one slice weight.  An optimal
+    contiguous partition can do no better than target - max_w on some
+    part, so greedy is within an additive max_w of optimal per part.
+    """
+    w = np.array(weights, dtype=float)
+    if len(w) < parts:
+        return
+    shares = np.resize(np.array(raw_shares, dtype=float), parts)
+    bounds = weighted_slab_partition(w, parts, min_size=1, shares=shares)
+    total = float(w.sum())
+    max_w = float(w.max())
+    norm = normalized_shares(shares, parts)
+    for (a, b), share in zip(bounds, norm):
+        load = float(w[a:b].sum())
+        assert load <= total * float(share) + max_w + 1e-9
+
+
+@given(st.integers(2, 10), st.lists(st.floats(0.1, 10.0), min_size=2, max_size=10))
+def test_zero_weights_distribute_slices_by_share(parts, raw_shares):
+    """All-zero weights (a fully inactive sparse domain) must not divide
+    by zero: the slices themselves are distributed by share."""
+    raw_shares = raw_shares[:parts]
+    shares = np.resize(np.array(raw_shares, dtype=float), parts)
+    extent = 8 * parts
+    bounds = weighted_slab_partition(np.zeros(extent), parts, shares=shares)
+    assert bounds[0][0] == 0 and bounds[-1][1] == extent
+    norm = normalized_shares(shares, parts)
+    for (a, b), share in zip(bounds, norm):
+        assert b - a >= 1
+        assert (b - a) <= extent * float(share) + 1.0 + 1e-9
+
+
+def test_all_zero_shares_fall_back_to_equal():
+    assert np.allclose(normalized_shares(np.zeros(4), 4), 0.25)
+    w = np.ones(12)
+    assert weighted_slab_partition(w, 3, shares=np.zeros(3)) == slab_partition(12, 3)
+
+
+def test_lopsided_shares_move_the_cut():
+    w = np.ones(16)
+    bounds = weighted_slab_partition(w, 2, shares=[3.0, 1.0])
+    assert bounds == [(0, 12), (12, 16)]
+
+
+def test_share_aware_imbalance_measures_against_targets():
+    w = np.ones(16)
+    bounds = weighted_slab_partition(w, 2, shares=[3.0, 1.0])
+    assert partition_imbalance(w, bounds, shares=[3.0, 1.0]) == pytest.approx(1.0)
+    # the same split measured against equal shares is 50% overloaded
+    assert partition_imbalance(w, bounds) == pytest.approx(1.5)

@@ -72,3 +72,25 @@ def test_trace_unknown_workload_rejected(tmp_path):
     proc = run_cli("trace", "fig99", "-o", str(tmp_path / "x.json"))
     assert proc.returncode == 2
     assert "no traceable workload" in proc.stderr
+
+
+def test_tune_writes_plan_json(tmp_path):
+    out = tmp_path / "TUNE_lbm.json"
+    proc = run_cli("tune", "lbm", "--machine", "mixed_pcie", "--devices", "4", "-o", str(out))
+    assert proc.returncode == 0, proc.stderr
+    assert "decision:" in proc.stdout
+    assert "<- best" in proc.stdout and "<- baseline" in proc.stdout
+
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["experiment"] == "lbm"
+    assert doc["machine"] == "mixed-pcie-4"
+    assert doc["improvement"] > 0
+    assert len(doc["best"]["weights"]) == 4
+
+
+def test_tune_unknown_workload_rejected():
+    proc = run_cli("tune", "fig99")
+    assert proc.returncode == 2
+    assert "unknown workload" in proc.stderr

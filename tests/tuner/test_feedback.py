@@ -1,0 +1,117 @@
+import numpy as np
+import pytest
+
+from repro.sim.calibrate import KernelSample
+from repro.sim.costmodel import kernel_duration
+from repro.sim.machine import mixed_pcie, pcie_a100
+from repro.system.queue import KernelCost
+from repro.tuner import Recalibrator, kernel_samples_from_trace, tune_workload
+
+
+def _samples_for(spec, nbytes_list, launches=1):
+    """Cost-model-generated samples: exactly what the DES would predict."""
+    out = []
+    for nb in nbytes_list:
+        cost = KernelCost(bytes_moved=nb, flops=0.0, launches=launches)
+        out.append(KernelSample(nb, launches, kernel_duration(cost, spec)))
+    return out
+
+
+NBYTES = [1e6, 4e6, 1.6e7, 6.4e7, 2.56e8]
+
+
+def test_fit_round_trips_from_cost_model():
+    """fit_device inverts kernel_duration: feeding the model's own
+    predictions back through the fit recovers the DeviceSpec."""
+    m = pcie_a100(2)
+    r = Recalibrator(m)
+    r.ingest({0: _samples_for(m.device_spec(0), NBYTES)})
+    report = r.check()
+    assert report.quality[0] < 1e-9
+    fitted = report.fitted[0]
+    assert fitted.mem_bandwidth == pytest.approx(m.device_spec(0).mem_bandwidth, rel=1e-6)
+    assert fitted.launch_overhead == pytest.approx(m.device_spec(0).launch_overhead, rel=1e-6)
+
+
+def test_no_drift_means_no_retune():
+    m = mixed_pcie(4)
+    r = Recalibrator(m, quality_threshold=0.25)
+    for rank in range(4):
+        r.ingest({rank: _samples_for(m.device_spec(rank), NBYTES)})
+    assert not r.stale
+    assert r.maybe_retune("lbm", devices=4) is None
+    assert r.machine is m
+
+
+def test_degraded_fit_triggers_retune_with_refit_machine():
+    """A device that silently halved its bandwidth (thermal throttling,
+    a PCIe renegotiation) must be detected, refitted and re-tuned."""
+    m = mixed_pcie(4)
+    slow = m.device_spec(1)
+    throttled = type(slow)(
+        mem_bandwidth=slow.mem_bandwidth / 2,
+        flops=slow.flops,
+        launch_overhead=slow.launch_overhead,
+    )
+    r = Recalibrator(m, quality_threshold=0.25)
+    r.ingest({0: _samples_for(m.device_spec(0), NBYTES)})
+    r.ingest({1: _samples_for(throttled, NBYTES)})  # reality disagrees with model
+    report = r.check()
+    assert report.quality[0] < 1e-9
+    assert report.quality[1] > 0.25
+
+    plan = r.maybe_retune("lbm", devices=4)
+    assert plan is not None
+    assert plan.fit_quality == pytest.approx(report.worst_quality)
+    # the recalibrator now carries the corrected machine...
+    got = r.machine.device_spec(1).mem_bandwidth
+    assert got == pytest.approx(throttled.mem_bandwidth, rel=1e-6)
+    # ...and the re-tuned shares starve the throttled rank further
+    baseline_shares = np.asarray(tune_workload("lbm", m, devices=4).shares)
+    assert plan.shares[1] < baseline_shares[1]
+
+
+def test_ranks_with_too_few_samples_are_skipped():
+    m = pcie_a100(2)
+    r = Recalibrator(m)
+    r.observe(0, bytes_moved=1e6, launches=1, seconds=1e-3)  # single sample
+    report = r.check()
+    assert report.quality == {}
+    assert report.worst_quality == 0.0
+    assert not r.stale
+
+
+def test_kernel_samples_from_trace_joins_spans_to_costs():
+    from repro import observability as obs
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+
+    obs.enable()
+    try:
+        cavity = LidDrivenCavity(Backend.sim_gpus(2), (8, 8, 8))
+        cavity.step(2)
+        result = cavity.skeletons[0].record()
+        samples = kernel_samples_from_trace(obs.tracer().spans, result)
+    finally:
+        obs.disable()
+    assert set(samples) == {0, 1}
+    for rank, batch in samples.items():
+        assert len(batch) >= 1
+        for s in batch:
+            assert s.bytes_moved > 0
+            assert s.launches >= 1
+            assert s.seconds > 0
+
+
+def test_trace_join_ignores_foreign_spans():
+    from repro.observability.tracer import TraceSpan
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+
+    cavity = LidDrivenCavity(Backend.sim_gpus(2), (8, 8, 8), virtual=True)
+    result = cavity.skeletons[0].record()
+    foreign = [
+        TraceSpan(name="not-a-kernel", cat="phase", start=0.0, end=1.0, pid="host", tid="main"),
+        TraceSpan(name="unknown[9]", cat="kernel", start=0.0, end=1.0, pid="device9", tid="q"),
+    ]
+    assert kernel_samples_from_trace(foreign, result) == {}
