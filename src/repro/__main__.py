@@ -29,6 +29,17 @@
         # scored by DES replay of each candidate's recorded command
         # stream; prints the candidate table and decision, -o writes the
         # TunePlan as JSON
+    python -m repro report lbm --devices 4 --format html -o report.html
+        # performance observatory dashboard: run an instrumented
+        # miniature, then render latency histograms (p50/p90/p99), the
+        # exact DES critical path with its {kernel, copy, wait,
+        # dispatch} makespan attribution, per-device busy/blocked/idle
+        # utilization, and the measured-wall vs modeled-makespan gap
+        # (Python dispatch overhead); --format text|json|html
+    python -m repro report --compare BENCH_old.json BENCH_new.json
+        # bench regression check between two BENCH_*.json documents
+        # (schema /1 or /2); warn-only by default, --strict exits
+        # non-zero on any metric past --threshold
 """
 
 from __future__ import annotations
@@ -288,6 +299,71 @@ def cmd_tune(name: str, machine_name: str, devices: int, out: str | None) -> int
     return 0
 
 
+def cmd_report(
+    name: str | None,
+    devices: int,
+    mode: str,
+    fmt: str,
+    out: str | None,
+    compare: tuple[str, str] | None,
+    threshold: float,
+    strict: bool,
+    flight_out: str | None,
+) -> int:
+    import json
+
+    if compare is not None:
+        from repro.bench.regress import check_regression, render
+
+        try:
+            findings, ok = check_regression(compare[0], compare[1], threshold)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot compare: {exc}", file=sys.stderr)
+            return 2
+        print(render(findings, threshold))
+        if not ok:
+            # soft gate by default: miniature wall-clocks on shared CI
+            # hosts are noisy, so regressions warn unless --strict
+            print("WARNING: regression(s) detected" + ("" if strict else " (soft gate: exit 0)"))
+            return 1 if strict else 0
+        return 0
+
+    from repro.bench.dashboard import build_report, to_html, to_text
+    from repro.observability import flight
+
+    if name is None:
+        print("report needs an experiment key (or --compare OLD NEW)", file=sys.stderr)
+        return 2
+    if devices < 1:
+        print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
+        return 2
+    try:
+        report = build_report(name, devices=devices, mode=mode)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if fmt == "json":
+        rendered = json.dumps(report, indent=2) + "\n"
+    elif fmt == "html":
+        rendered = to_html(report)
+    else:
+        rendered = to_text(report) + "\n"
+    if out:
+        pathlib.Path(out).write_text(rendered)
+        print(f"wrote {out}")
+    else:
+        print(rendered, end="")
+    if flight_out:
+        # CI artifact: a flight-recorder snapshot from the instrumented
+        # run, same shape as a crash dump but captured on a healthy run
+        pathlib.Path(flight_out).write_text(
+            json.dumps({"schema": "repro-flight/1", "reason": "report_sample", "tracks": flight.FLIGHT.snapshot()}, indent=2)
+            + "\n"
+        )
+        print(f"wrote {flight_out}")
+    return 0
+
+
 def cmd_info() -> int:
     import numpy
 
@@ -364,6 +440,40 @@ def main(argv: list[str] | None = None) -> int:
     )
     tn.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
     tn.add_argument("-o", "--output", default=None, help="write the TunePlan as JSON (e.g. TUNE_lbm.json)")
+    rp = sub.add_parser("report", help="performance observatory dashboard / bench regression check")
+    rp.add_argument("name", nargs="?", default=None, help="experiment key (e.g. lbm); see 'list'")
+    rp.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
+    rp.add_argument(
+        "--mode",
+        default="serial",
+        choices=["serial", "parallel"],
+        help="replay mode for the modeled timeline (default serial)",
+    )
+    rp.add_argument("--format", default="text", choices=["text", "json", "html"], help="output format")
+    rp.add_argument("-o", "--output", default=None, help="write the dashboard here instead of stdout")
+    rp.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="compare two BENCH_*.json documents instead of building a dashboard",
+    )
+    rp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative change that counts as a regression in --compare (default 0.25)",
+    )
+    rp.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on regressions (default: warn only — CI wall-clocks are noisy)",
+    )
+    rp.add_argument(
+        "--flight-out",
+        default=None,
+        help="also write a flight-recorder snapshot JSON (CI artifact)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -381,6 +491,18 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_sanitize(args.name, args.devices, args.occ, args.mode, args.mutate, args.output)
     if args.command == "tune":
         return cmd_tune(args.name, args.machine, args.devices, args.output)
+    if args.command == "report":
+        return cmd_report(
+            args.name,
+            args.devices,
+            args.mode,
+            args.format,
+            args.output,
+            tuple(args.compare) if args.compare else None,
+            args.threshold,
+            args.strict,
+            args.flight_out,
+        )
     return cmd_info()
 
 

@@ -1,6 +1,13 @@
-"""Benchmark harness: metrics, table formatting, result persistence."""
+"""Benchmark harness: metrics, table formatting, result persistence.
 
-from .harness import format_table, sweep, wall_time
+Heavier pieces — the serial-vs-parallel miniatures
+(:mod:`repro.bench.parallel`), the performance-observatory dashboard
+(:mod:`repro.bench.dashboard`) and the regression checker
+(:mod:`repro.bench.regress`) — are imported explicitly by their users
+rather than re-exported here, so ``import repro.bench`` stays cheap.
+"""
+
+from .harness import format_table, read_bench_json, sweep, wall_time, write_bench_json
 from .metrics import lups, mlups, parallel_efficiency, speedup
 from .plot import ascii_plot
 from .report import load_result, save_result
@@ -12,8 +19,10 @@ __all__ = [
     "lups",
     "mlups",
     "parallel_efficiency",
+    "read_bench_json",
     "save_result",
     "speedup",
     "sweep",
     "wall_time",
+    "write_bench_json",
 ]

@@ -2,12 +2,19 @@
 
 Besides the text-table helpers the benchmarks print, this module owns
 the machine-readable result format: :func:`write_bench_json` emits a
-``BENCH_<exp>.json`` document (schema ``repro-bench/1``) recording the
+``BENCH_<exp>.json`` document (schema ``repro-bench/2``) recording the
 experiment id, its parameters, the runtime environment (python / numpy
 versions, usable CPU core count — essential context for wall-clock
 numbers), and one entry per measured configuration with wall-clock
-seconds, simulated makespan, and MLUPS.  CI uploads these artifacts so
-the perf trajectory of the repo is diffable across commits.
+seconds, simulated makespan, and MLUPS.  Schema ``/2`` adds two
+optional top-level annotations — ``percentiles`` (per-site latency
+distributions from an instrumented pass) and ``critical_path`` (the
+modeled makespan's exact attribution) — that ``/1`` readers can
+ignore; :func:`read_bench_json` accepts both versions.  CI uploads
+these artifacts so the perf trajectory of the repo is diffable across
+commits, and ``python -m repro report --compare old.json new.json``
+(see :mod:`repro.bench.regress`) turns a pair of them into a
+regression verdict.
 """
 
 from __future__ import annotations
@@ -21,7 +28,10 @@ import sys
 import time
 from collections.abc import Callable, Iterable
 
-BENCH_SCHEMA = "repro-bench/1"
+BENCH_SCHEMA = "repro-bench/2"
+
+#: schema versions read_bench_json accepts (all are forward subsets of /2)
+KNOWN_SCHEMAS = ("repro-bench/1", "repro-bench/2")
 
 
 def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -92,12 +102,25 @@ def bench_env() -> dict:
     }
 
 
-def write_bench_json(path, exp: str, params: dict, results: list[dict]) -> pathlib.Path:
+def write_bench_json(
+    path,
+    exp: str,
+    params: dict,
+    results: list[dict],
+    percentiles: dict | None = None,
+    critical_path: dict | None = None,
+) -> pathlib.Path:
     """Write one ``BENCH_<exp>.json`` document and return its path.
 
     ``results`` entries carry at least ``label`` plus whichever of
     ``wall_clock_s`` / ``sim_makespan_s`` / ``mlups`` the experiment
-    measures; extra keys pass through untouched.
+    measures; extra keys pass through untouched.  The optional schema-/2
+    annotations: ``percentiles`` maps metric names to a list of
+    ``{labels, count, mean, p50, p90, p99}`` series (from an
+    instrumented pass), ``critical_path`` is the modeled makespan's
+    attribution (:meth:`repro.observability.CriticalPath.to_json`-shaped).
+    Both are omitted from the document when None, so minimal documents
+    stay /1-shaped apart from the version string.
     """
     doc = {
         "schema": BENCH_SCHEMA,
@@ -106,6 +129,29 @@ def write_bench_json(path, exp: str, params: dict, results: list[dict]) -> pathl
         "env": bench_env(),
         "results": results,
     }
+    if percentiles is not None:
+        doc["percentiles"] = percentiles
+    if critical_path is not None:
+        doc["critical_path"] = critical_path
     out = pathlib.Path(path)
     out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
     return out
+
+
+def read_bench_json(path) -> dict:
+    """Load a ``BENCH_*.json`` document, accepting schema ``/1`` or ``/2``.
+
+    ``/1`` documents are upgraded in memory to the ``/2`` shape (empty
+    ``percentiles`` / ``critical_path`` annotations) so downstream code
+    — the regression checker in particular — handles one shape only.
+    An unrecognised schema raises ``ValueError`` rather than silently
+    comparing apples to oranges.
+    """
+    doc = json.loads(pathlib.Path(path).read_text())
+    schema = doc.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        raise ValueError(f"{path}: unknown bench schema {schema!r}; expected one of {KNOWN_SCHEMAS}")
+    doc.setdefault("percentiles", {})
+    doc.setdefault("critical_path", {})
+    doc.setdefault("results", [])
+    return doc

@@ -124,6 +124,9 @@ def run_bench(
     if "serial" in walls and "parallel" in walls and walls["parallel"] > 0:
         report["speedup_parallel"] = walls["serial"] / walls["parallel"]
     report["tuner"] = _tuner_annotation(exp, devices)
+    percentiles, critical_path = _observability_annotation(exp, devices)
+    report["percentiles"] = percentiles
+    report["critical_path"] = critical_path
     return report
 
 
@@ -151,14 +154,57 @@ def _tuner_annotation(exp: str, devices: int) -> dict:
     }
 
 
+def _observability_annotation(exp: str, devices: int) -> tuple[dict, dict]:
+    """Schema-/2 extras: latency percentiles + exact makespan attribution.
+
+    Runs the experiment's traceable miniature once more with the metrics
+    registry enabled (the timed passes above stay uninstrumented so the
+    annotation cannot perturb the wall-clock numbers), then reconstructs
+    the serial-replay critical path from the DES binding links.  The
+    caller's observability state is saved and restored around the pass.
+    """
+    from repro import observability as obs
+    from repro.bench.traceable import build_workload
+    from repro.sim.replay import sim_replay
+
+    saved = (obs.OBS.active, obs.OBS.tracer, obs.OBS.metrics)
+    try:
+        obs.enable(reset=True)
+        workload = build_workload(exp, devices=devices)
+        workload.run()
+        percentiles = {
+            name: series
+            for name in ("kernel_seconds", "copy_seconds", "staging_acquire_seconds")
+            if (series := obs.metrics().histogram_summaries(name))
+        }
+    finally:
+        obs.OBS.active, obs.OBS.tracer, obs.OBS.metrics = saved
+
+    sk = workload.skeletons[0]
+    result = sk.last_result or sk.record()
+    trace = sim_replay(result, sk.backend.machine, mode="serial")
+    critical_path = obs.critical_path(trace).to_json()
+    return percentiles, critical_path
+
+
 def write_report(report: dict, out_dir=".") -> str:
     """Persist a :func:`run_bench` report as ``BENCH_<exp>.json``."""
     import pathlib
 
+    pathlib.Path(out_dir).mkdir(parents=True, exist_ok=True)
     path = pathlib.Path(out_dir) / f"BENCH_{report['exp']}.json"
     extra = {k: report[k] for k in ("description", "speedup_parallel", "tuner") if k in report}
     params = dict(report["params"], **extra)
-    return str(write_bench_json(path, report["exp"], params, report["results"]))
+    return str(
+        write_bench_json(
+            path,
+            report["exp"],
+            params,
+            report["results"],
+            percentiles=report.get("percentiles"),
+            critical_path=report.get("critical_path"),
+        )
+    )
 
 
 def summarize(report: dict) -> str:

@@ -99,6 +99,10 @@ WORKLOADS = {
     "table1": _lbm,
     "table2": _lbm,
     "micro": _micro,
+    # solver-name aliases: `repro report lbm` / `repro bench lbm` agree
+    # on what "lbm" and "poisson" mean
+    "lbm": _lbm,
+    "poisson": _fig8top,
 }
 
 

@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import functools
 
+from .critpath import attribute_wall_clock, critical_path, dependency_chain, device_utilization
 from .export import merge_chrome_traces, write_chrome_trace
+from .flight import FLIGHT, FlightRecorder
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import Tracer, TraceSpan
 
@@ -164,13 +166,19 @@ def export_chrome_trace(path, sim_trace=None, meta: dict | None = None):
 
 
 __all__ = [
+    "FLIGHT",
     "OBS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Tracer",
     "TraceSpan",
+    "attribute_wall_clock",
+    "critical_path",
+    "dependency_chain",
+    "device_utilization",
     "disable",
     "enable",
     "enabled",

@@ -6,6 +6,22 @@ name with exactly those labels.  All mutation goes through one registry
 lock, so concurrent instrumented code (e.g. future threaded executors)
 stays consistent; the lock is only ever taken when observability is
 enabled, so the disabled path pays nothing.
+
+Histograms are distribution summaries, not just bucket counts: each one
+keeps an exact reservoir of its first :data:`Histogram.SAMPLE_MAX`
+observations (percentiles are exact for short runs, which is what tests
+compare against) and three P² streaming-quantile estimators (Jain &
+Chlamtac 1985) for p50/p90/p99 that keep working at serving-run scale
+with O(1) memory.  ``summary()`` packages count/sum/min/max/mean and
+the three percentiles for dashboards and the tuner's cheap
+recalibration path.
+
+Long-running servers must not leak series: the registry caps the number
+of distinct label-sets per metric name (``max_label_sets``).  Past the
+cap, observations collapse into a single ``overflow="true"`` series for
+that name and a warning counter (:attr:`MetricsRegistry.label_overflows`)
+records how many label-sets were folded, so unbounded per-step or
+per-site labels degrade gracefully instead of growing without bound.
 """
 
 from __future__ import annotations
@@ -61,22 +77,136 @@ class Gauge:
         self.inc(-amount)
 
 
-class Histogram:
-    """A distribution summary: count/sum/min/max plus power-of-4 buckets."""
+class _P2Quantile:
+    """One streaming quantile via the P² algorithm (Jain & Chlamtac).
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets", "_lock")
+    Five markers track the min, the target quantile, the max and two
+    intermediate quantiles; each observation shifts marker positions and
+    adjusts heights with a piecewise-parabolic fit.  O(1) memory and
+    time per observation, and the estimate of the middle marker
+    converges to the true quantile for stationary streams — the standard
+    choice when storing the sample is not an option.
+    """
+
+    __slots__ = ("p", "count", "heights", "positions", "desired", "increments")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self.count = 0
+        self.heights: list[float] = []
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self.desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self.increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if len(self.heights) < 5:
+            self.heights.append(value)
+            if len(self.heights) == 5:
+                self.heights.sort()
+            return
+        q, n = self.heights, self.positions
+        # locate the cell of the new observation, clamping the extremes
+        if value < q[0]:
+            q[0] = value
+            k = 0
+        elif value >= q[4]:
+            q[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 3 and value >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self.desired[i] += self.increments[i]
+        # adjust the three interior markers toward their desired positions
+        for i in (1, 2, 3):
+            d = self.desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (d <= -1.0 and n[i - 1] - n[i] < -1.0):
+                d = 1.0 if d > 0 else -1.0
+                # piecewise-parabolic prediction of the marker height
+                hp = q[i] + d / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+                )
+                if not q[i - 1] < hp < q[i + 1]:
+                    # parabolic estimate left the bracket: fall back to linear
+                    hp = q[i] + d * (q[i + int(d)] - q[i]) / (n[i + int(d)] - n[i])
+                q[i] = hp
+                n[i] += d
+
+    def estimate(self) -> float:
+        if not self.heights:
+            return 0.0
+        if len(self.heights) < 5:
+            return _exact_quantile(sorted(self.heights), self.p)
+        return self.heights[2]
+
+
+def _exact_quantile(ordered: list[float], p: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    pos = p * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class Histogram:
+    """A distribution summary: count/sum/min/max, buckets, p50/p90/p99.
+
+    Percentiles are exact while the observation count stays within the
+    bounded reservoir (:data:`SAMPLE_MAX`) and switch to the P²
+    streaming estimates beyond it, so a histogram never grows with the
+    run length.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "count",
+        "total",
+        "min",
+        "max",
+        "bounds",
+        "buckets",
+        "_sample",
+        "_quantiles",
+        "_lock",
+    )
 
     #: bucket upper bounds: 4^0 .. 4^15 then +inf (covers 1 B .. ~1 GB)
     BOUNDS = tuple(4.0**i for i in range(16)) + (float("inf"),)
+    #: bucket bounds for durations in seconds: 1 us .. ~17 min, then +inf
+    TIME_BOUNDS = tuple(1e-6 * 4.0**i for i in range(16)) + (float("inf"),)
+    #: exact-percentile reservoir size; beyond it P² estimates take over
+    SAMPLE_MAX = 512
+    #: the percentiles every histogram tracks as streaming estimators
+    QUANTILES = (0.5, 0.9, 0.99)
 
-    def __init__(self, name: str, labels: dict[str, str], lock: threading.Lock):
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        lock: threading.Lock,
+        bounds: tuple[float, ...] | None = None,
+    ):
         self.name = name
         self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
-        self.buckets = [0] * len(self.BOUNDS)
+        self.bounds = tuple(bounds) if bounds is not None else self.BOUNDS
+        self.buckets = [0] * len(self.bounds)
+        self._sample: list[float] = []
+        self._quantiles = tuple(_P2Quantile(q) for q in self.QUANTILES)
         self._lock = lock
 
     def observe(self, value: float) -> None:
@@ -87,32 +217,86 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
-            for i, bound in enumerate(self.BOUNDS):
+            for i, bound in enumerate(self.bounds):
                 if value <= bound:
                     self.buckets[i] += 1
                     break
+            if len(self._sample) < self.SAMPLE_MAX:
+                self._sample.append(value)
+            for est in self._quantiles:
+                est.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, p: float) -> float:
+        """The p-quantile: exact within the reservoir, P² beyond it."""
+        with self._lock:
+            if self.count <= len(self._sample):
+                return _exact_quantile(sorted(self._sample), p)
+            for est in self._quantiles:
+                if abs(est.p - p) < 1e-12:
+                    return est.estimate()
+        raise ValueError(
+            f"quantile {p} is not tracked beyond the exact reservoir; "
+            f"streaming estimators cover {self.QUANTILES}"
+        )
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard dashboard trio: p50 / p90 / p99."""
+        return {f"p{int(q * 100)}": self.quantile(q) for q in self.QUANTILES}
+
+    def summary(self) -> dict:
+        """JSON-able digest: count/sum/mean/min/max + percentiles."""
+        out: dict = {"count": self.count, "sum": self.total, "mean": self.mean}
+        if self.count:
+            out.update(min=self.min, max=self.max, **self.percentiles())
+        return out
+
 
 class MetricsRegistry:
-    """Thread-safe home for every labeled metric series."""
+    """Thread-safe home for every labeled metric series.
 
-    def __init__(self) -> None:
+    ``max_label_sets`` bounds the number of distinct label combinations
+    one metric name may grow; see the module docstring for the overflow
+    behaviour.
+    """
+
+    #: reserved label marking the fold-over series of a capped metric
+    OVERFLOW_LABELS = {"overflow": "true"}
+
+    def __init__(self, max_label_sets: int = 256) -> None:
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
         self._lock = threading.Lock()
         self._series: dict[SeriesKey, object] = {}
+        self._cardinality: dict[str, int] = {}
+        self.max_label_sets = max_label_sets
+        self.label_overflows: dict[str, int] = {}
         self.updates = 0  # instrumentation events, for overhead accounting
 
-    def _get(self, cls, name: str, labels: dict[str, str]):
+    def _get(self, cls, name: str, labels: dict[str, str], **kwargs):
         key = (name, tuple(sorted(labels.items())))
         with self._lock:
             self.updates += 1
             series = self._series.get(key)
             if series is None:
-                series = self._series[key] = cls(name, labels, self._lock)
-            elif not isinstance(series, cls):
+                if self._cardinality.get(name, 0) >= self.max_label_sets:
+                    # cardinality guard: fold this label-set into the
+                    # per-name overflow series instead of growing forever
+                    self.label_overflows[name] = self.label_overflows.get(name, 0) + 1
+                    key = (name, tuple(sorted(self.OVERFLOW_LABELS.items())))
+                    series = self._series.get(key)
+                    if series is None:
+                        series = self._series[key] = cls(
+                            name, dict(self.OVERFLOW_LABELS), self._lock, **kwargs
+                        )
+                    labels = dict(self.OVERFLOW_LABELS)
+                else:
+                    self._cardinality[name] = self._cardinality.get(name, 0) + 1
+                    series = self._series[key] = cls(name, labels, self._lock, **kwargs)
+            if not isinstance(series, cls):
                 raise TypeError(f"metric '{name}' already registered as {type(series).__name__}")
         return series
 
@@ -122,7 +306,12 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels: str) -> Gauge:
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels: str) -> Histogram:
+    def histogram(
+        self, name: str, *, bounds: tuple[float, ...] | None = None, **labels: str
+    ) -> Histogram:
+        """A histogram series; ``bounds`` applies on first creation only."""
+        if bounds is not None:
+            return self._get(Histogram, name, labels, bounds=bounds)
         return self._get(Histogram, name, labels)
 
     # -- queries -----------------------------------------------------------
@@ -142,6 +331,14 @@ class MetricsRegistry:
             return None
         return s.value if not isinstance(s, Histogram) else s.total
 
+    def histogram_summaries(self, name: str) -> list[dict]:
+        """Per-series :meth:`Histogram.summary` dicts (labels included)."""
+        out = []
+        for s in self.series(name):
+            if isinstance(s, Histogram):
+                out.append({"labels": dict(s.labels), **s.summary()})
+        return out
+
     # -- exporters ---------------------------------------------------------
     def to_json(self) -> dict:
         """JSON-serialisable snapshot of every series."""
@@ -157,10 +354,13 @@ class MetricsRegistry:
                 entry["max"] = s.max
             else:
                 entry["type"] = "histogram"
-                entry.update(count=s.count, sum=s.total, mean=s.mean)
-                if s.count:
-                    entry.update(min=s.min, max=s.max)
+                entry.update(s.summary())
             out.setdefault(s.name, []).append(entry)
+        if self.label_overflows:
+            out["_label_overflows"] = [
+                {"labels": {"metric": name}, "type": "counter", "value": float(n)}
+                for name, n in sorted(self.label_overflows.items())
+            ]
         return out
 
     def to_markdown(self) -> str:
@@ -173,7 +373,16 @@ class MetricsRegistry:
             elif isinstance(s, Gauge):
                 rows.append((s.name, "gauge", labels, f"{s.value:g} (max {s.max:g})"))
             else:
-                rows.append((s.name, "histogram", labels, f"n={s.count} sum={s.total:g} mean={s.mean:g}"))
+                pct = s.percentiles()
+                rows.append(
+                    (
+                        s.name,
+                        "histogram",
+                        labels,
+                        f"n={s.count} sum={s.total:g} mean={s.mean:g} "
+                        f"p50={pct['p50']:g} p90={pct['p90']:g} p99={pct['p99']:g}",
+                    )
+                )
         if not rows:
             return "(no metrics recorded)"
         widths = [max(len(r[i]) for r in rows + [("metric", "type", "labels", "value")]) for i in range(4)]

@@ -120,7 +120,18 @@ def execute_command(kind: str, site: str, ranks: tuple[int, ...], fn) -> None:
     plan = RES.plan
     if plan is not None:
         for rank in ranks:
-            plan.touch_device(rank)
+            try:
+                plan.touch_device(rank)
+            except DeviceLost:
+                # tag the loss with the command's site key before it
+                # propagates — touch_device only knows the rank, and the
+                # flight-recorder post-mortem must name the failing site
+                from repro.observability import flight as _flight  # noqa: PLC0415 - cold path
+
+                _flight.record(
+                    f"device{rank}", "fault", site, {"kind": "device_lost", "rank": rank}
+                )
+                raise
     policy = RES.policy.retry if RES.policy is not None else RetryPolicy()
     run_with_retry(fn, kind, site, policy, plan, _FAULT_CLS.get(kind, TransientFault))
 
@@ -135,7 +146,15 @@ def should_fail_allocation(rank: int, site: str) -> bool:
     plan = RES.plan
     if plan is None:
         return False
-    plan.touch_device(rank)
+    try:
+        plan.touch_device(rank)
+    except DeviceLost:
+        # same site-tagging as execute_command: the post-mortem must name
+        # the allocation that first touched the lost device
+        from repro.observability import flight as _flight  # noqa: PLC0415 - cold path
+
+        _flight.record(f"device{rank}", "fault", site, {"kind": "device_lost", "rank": rank})
+        raise
     hit = plan.decide("alloc", site)
     if hit and _obs.OBS.active:
         _obs.OBS.metrics.counter("faults_injected", kind="alloc").inc()

@@ -13,9 +13,16 @@ import time
 from collections.abc import Callable
 
 from repro import observability as _obs
+from repro.observability import flight as _flight
 
 from .errors import FaultExhausted, TransientFault
 from .faults import FaultPlan, unit_draw
+
+
+def _fault_track(site: str) -> str:
+    """Flight-recorder track for a site key (``...@<rank>`` when present)."""
+    _, sep, tail = site.rpartition("@")
+    return f"device{tail.split('->')[0]}" if sep else "host"
 
 
 class RetryPolicy:
@@ -89,11 +96,17 @@ def run_with_retry(
             if plan is not None and plan.decide(kind, site):
                 if _obs.OBS.active:
                     _obs.OBS.metrics.counter("faults_injected", kind=kind).inc()
+                _flight.record(
+                    _fault_track(site), "fault", site, {"kind": kind, "attempt": attempt}
+                )
                 raise fault_cls(site, attempt)
             fn()
             return attempt
         except TransientFault as exc:
             if attempt >= policy.max_attempts:
+                _flight.record(
+                    _fault_track(site), "fault", site, {"kind": f"{kind}_exhausted", "attempts": attempt}
+                )
                 raise FaultExhausted(kind, site, attempt) from exc
             d = policy.delay(attempt, plan.seed if plan is not None else 0, site)
             if _obs.OBS.active:

@@ -33,9 +33,10 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro import observability as _obs
+from repro.observability import flight as _flight
 
 from .checkpoint import Checkpoint
-from .errors import CorruptionDetected, DeviceLost, FaultExhausted
+from .errors import CorruptionDetected, DeviceLost, FaultExhausted, ResilienceError
 from .retry import RetryPolicy
 
 #: divergence-guardrail reactions (checked by RecoveryPolicy)
@@ -128,6 +129,9 @@ class ResilientDriver:
         self.rollbacks += 1
         if _obs.OBS.active:
             _obs.OBS.metrics.counter("rollbacks", cause=type(cause).__name__).inc()
+        _flight.record(
+            "host", "rollback", type(cause).__name__, {"to_step": ckpt.step, "n": self.rollbacks}
+        )
         with _obs.span("resilience.rollback", cat="resilience", to_step=ckpt.step):
             return self._restore(app, ckpt)
 
@@ -135,6 +139,7 @@ class ResilientDriver:
         self.devices_lost += 1
         if _obs.OBS.active:
             _obs.OBS.metrics.counter("devices_lost", rank=str(lost.rank)).inc()
+        _flight.record(f"device{lost.rank}", "degrade", f"device{lost.rank} lost")
         with _obs.span("resilience.degrade", cat="resilience", lost_rank=lost.rank):
             new_backend = degraded_backend(self.backend, lost.rank, self.policy.min_devices)
             if self.plan is not None:
@@ -143,7 +148,28 @@ class ResilientDriver:
 
     # -- the loop -----------------------------------------------------------
     def run(self):
-        """Run to completion; return the (possibly rebuilt) application."""
+        """Run to completion; return the (possibly rebuilt) application.
+
+        A terminal failure — the retry/rollback budget exhausted, or a
+        device loss that cannot be degraded around — dumps the flight
+        recorder's rings to a ``FLIGHT_*.json`` post-mortem before the
+        exception propagates.
+        """
+        try:
+            return self._run()
+        except ResilienceError as exc:
+            _flight.dump(
+                f"resilience_{type(exc).__name__}",
+                {
+                    "error": str(exc),
+                    "rollbacks": self.rollbacks,
+                    "devices_lost": self.devices_lost,
+                    "steps": self.steps,
+                },
+            )
+            raise
+
+    def _run(self):
         policy = self.policy
         app = None
         ckpt: Checkpoint | None = None

@@ -205,8 +205,24 @@ def analyze_program(view: ProgramView, log=None) -> list[Violation]:
 
 
 def report_violations(violations: list[Violation], program: str = "") -> None:
-    """Publish findings to the observability layer (when it is enabled)."""
-    if not _obs.OBS.active or not violations:
+    """Publish findings to the observability layer and the flight recorder.
+
+    Metrics/spans require observability to be enabled; the flight
+    recorder is always-on, so a violating schedule leaves a
+    ``FLIGHT_sanitizer_violations_*.json`` post-mortem artifact even in
+    an uninstrumented run.
+    """
+    if not violations:
+        return
+    from repro.observability import flight as _flight  # noqa: PLC0415 - cold path
+
+    for v in violations:
+        _flight.record("host", "violation", v.kind, {"program": program, "summary": v.summary})
+    _flight.dump(
+        "sanitizer_violations",
+        {"program": program, "count": len(violations), "kinds": sorted({v.kind for v in violations})},
+    )
+    if not _obs.OBS.active:
         return
     m = _obs.OBS.metrics
     for v in violations:

@@ -22,7 +22,7 @@ from repro import observability as _obs
 from repro import resilience as _res
 
 from .dataset import MultiDeviceData
-from .launch import estimate_cost, wrap_kernel_faults
+from .launch import estimate_cost, wrap_kernel_faults, wrap_kernel_timing
 from .loader import AccessToken, Loader, Pattern, ReduceMode
 from .mstream import MultiStream
 from .views import DataView
@@ -122,6 +122,8 @@ class Container:
 
             label = f"{self.name}@{view}[{rank}]"
             if _obs.OBS.active:
+                if not virtual:
+                    kernel = wrap_kernel_timing(kernel, label, rank)
                 _obs.OBS.metrics.counter("container_launches", container=self.name).inc()
                 with _obs.span(label, cat="kernel", pid=f"device{rank}", tid=streams[rank].name):
                     streams[rank].enqueue_kernel(label, kernel, cost)

@@ -56,6 +56,12 @@ def simulate(
     event_done: dict[int, float] = {}
     resource_avail: dict[str, float] = {}
     spans: list[Span] = []
+    # binding-constraint bookkeeping for the critical-path analyzer:
+    # which span last released each queue / resource / event
+    links: dict[int, tuple[int, str]] = {}
+    queue_last_seq = [-1] * len(queues)
+    resource_last_seq: dict[str, int] = {}
+    event_record_seq: dict[int, int] = {}
 
     recorded_anywhere = {
         cmd.event.uid for q in queues for cmd in q.commands if isinstance(cmd, RecordEventCommand)
@@ -112,6 +118,22 @@ def simulate(
         q = queues[qi]
         cmd: Command = q.commands[pcs[qi]]
         finish = start + dur
+        seq = len(spans)
+
+        # which constraint actually set ``start``?  The latest-releasing
+        # one binds; ties prefer a real predecessor span over the host.
+        cands: list[tuple[float, int, str]] = [(last_finish[qi], queue_last_seq[qi], "fifo")]
+        if issue_times is not None:
+            cands.append((issue_times.get(cmd.issue_seq, 0.0), -1, "dispatch"))
+        if isinstance(cmd, WaitEventCommand):
+            cands.append(
+                (event_done[cmd.event.uid], event_record_seq.get(cmd.event.uid, -1), "event")
+            )
+        if resource:
+            cands.append((resource_avail.get(resource, 0.0), resource_last_seq.get(resource, -1), "resource"))
+        _, bind_pred, bind_cause = max(cands, key=lambda c: (c[0], c[1] >= 0))
+        links[seq] = (bind_pred, bind_cause)
+
         spans.append(
             Span(
                 kind=kind,
@@ -121,14 +143,18 @@ def simulate(
                 resource=resource,
                 start=start,
                 end=finish,
+                seq=seq,
             )
         )
         if resource:
             resource_avail[resource] = finish
+            resource_last_seq[resource] = seq
         if isinstance(cmd, RecordEventCommand):
             event_done[cmd.event.uid] = finish
+            event_record_seq[cmd.event.uid] = seq
         last_finish[qi] = finish
+        queue_last_seq[qi] = seq
         pcs[qi] += 1
         done += 1
 
-    return Trace(spans)
+    return Trace(spans, links=links)

@@ -36,6 +36,9 @@ class Span:
     resource: str
     start: float
     end: float
+    #: simulation ordinal (the DES stamps spans in execution order);
+    #: -1 for hand-built spans, which carry no dependency links
+    seq: int = -1
 
     @property
     def duration(self) -> float:
@@ -43,10 +46,26 @@ class Span:
 
 
 class Trace:
-    """Timeline of one simulated execution."""
+    """Timeline of one simulated execution.
 
-    def __init__(self, spans: list[Span]):
+    ``links`` is the DES's binding-constraint record: for each span seq,
+    ``(predecessor_seq, cause)`` names the single constraint that
+    determined the span's start time — queue FIFO order (``"fifo"``),
+    an awaited event record (``"event"``), contention on a compute/link
+    resource (``"resource"``), or host dispatch (``"dispatch"``,
+    predecessor -1).  Walking the links backward from the last-finishing
+    span reconstructs the schedule's critical path exactly (see
+    :mod:`repro.observability.critpath`).
+    """
+
+    def __init__(self, spans: list[Span], links: dict[int, tuple[int, str]] | None = None):
         self.spans = sorted(spans, key=lambda s: (s.start, s.end, s.queue))
+        self.links = links or {}
+        self._by_seq = {s.seq: s for s in self.spans if s.seq >= 0}
+
+    def span_by_seq(self, seq: int) -> Span | None:
+        """The span the DES stamped with ``seq`` (None when absent)."""
+        return self._by_seq.get(seq)
 
     @property
     def makespan(self) -> float:

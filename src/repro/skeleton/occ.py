@@ -188,8 +188,16 @@ def apply_occ(graph: DepGraph, occ: Occ) -> OccReport:
                 for p, kinds, scopes in ins:
                     if p is s_int:
                         _add(graph, p, c_int, kinds, scopes)
+                        if DepKind.WAR in kinds:
+                            # a stencil half READS across the view line
+                            # (neighbourhoods straddle internal/boundary),
+                            # so a consumer half overwriting the stencil's
+                            # input must also wait on the *other* half
+                            _add(graph, p, c_bnd, (DepKind.WAR,), scopes)
                     elif p is s_bnd:
                         _add(graph, p, c_bnd, kinds, scopes)
+                        if DepKind.WAR in kinds:
+                            _add(graph, p, c_int, (DepKind.WAR,), scopes)
                     else:
                         _add(graph, p, c_int, kinds, scopes)
                         _add(graph, p, c_bnd, kinds, scopes)

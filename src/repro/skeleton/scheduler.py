@@ -32,6 +32,7 @@ import threading
 
 from repro import observability as _obs
 from repro import resilience as _res
+from repro.observability.flight import FLIGHT as _FLIGHT
 from repro.sanitizer.state import SAN as _SAN
 from repro.sets import Container, DataView, ReduceMode
 from repro.sets.launch import wrap_kernel_faults
@@ -423,8 +424,11 @@ class Plan:
         worker thread of the step's device (the tracer and metrics
         registry are thread-safe).
         """
+        if _FLIGHT.enabled:
+            # always-on black box: one ring slot per step, site key included
+            _FLIGHT.record(step.pid, step.kind, step.site)
         if step.kind == "kernel":
-            with _obs.span(step.label, cat="kernel", pid=step.pid, tid=step.queue.name):
+            with _obs.span(step.label, cat="kernel", pid=step.pid, tid=step.queue.name) as sp:
                 fn = step.command.fn
                 if _res.RES.active:
                     if not step.virtual:
@@ -433,18 +437,30 @@ class Plan:
                     _res.execute_command("launch", step.site, step.ranks, fn)
                 else:
                     fn()
+            if sp is not None:
+                _obs.OBS.metrics.histogram(
+                    "kernel_seconds",
+                    bounds=_obs.Histogram.TIME_BOUNDS,
+                    device=step.pid,
+                    kernel=step.label,
+                ).observe(sp.duration)
         else:
             msg = step.msg
-            with _obs.span(step.label, cat="copy", pid=step.pid, tid=step.queue.name, nbytes=msg.nbytes):
+            with _obs.span(step.label, cat="copy", pid=step.pid, tid=step.queue.name, nbytes=msg.nbytes) as sp:
                 if _res.RES.active:
                     # copy-fault injection site: both endpoints are loss-checked
                     _res.execute_command("copy", step.site, step.ranks, msg.fn)
                 else:
                     msg.fn()
-            if _obs.OBS.active:
+            if sp is not None:
                 m = _obs.OBS.metrics
-                m.counter("halo_bytes_sent", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc(msg.nbytes)
-                m.counter("halo_messages", src=str(msg.src_rank), dst=str(msg.dst_rank)).inc()
+                src, dst = str(msg.src_rank), str(msg.dst_rank)
+                m.counter("halo_bytes_sent", src=src, dst=dst).inc(msg.nbytes)
+                m.counter("halo_messages", src=src, dst=dst).inc()
+                m.histogram(
+                    "copy_seconds", bounds=_obs.Histogram.TIME_BOUNDS, src=src, dst=dst
+                ).observe(sp.duration)
+                m.histogram("copy_size_bytes", src=src, dst=dst).observe(msg.nbytes)
         if _SAN.active:
             _SAN.record(step.command)
 
@@ -493,10 +509,15 @@ class Plan:
                         stacklevel=2,
                     )
                     mode = "serial"
-                if mode == "parallel":
-                    self._replay_parallel(program)
-                else:
-                    self._replay_serial(program)
-                if _obs.OBS.active:
-                    _obs.OBS.metrics.counter("plan_replays", mode=mode).inc()
+                with _obs.span(f"plan.replay.{mode}", cat="phase") as sp:
+                    if mode == "parallel":
+                        self._replay_parallel(program)
+                    else:
+                        self._replay_serial(program)
+                if sp is not None:
+                    m = _obs.OBS.metrics
+                    m.counter("plan_replays", mode=mode).inc()
+                    m.histogram(
+                        "replay_seconds", bounds=_obs.Histogram.TIME_BOUNDS, mode=mode
+                    ).observe(sp.duration)
             return ExecutionResult(queues=list(program.queues), stats=program.stats, plan=self)

@@ -41,7 +41,10 @@ from __future__ import annotations
 import queue as _queue
 import threading
 from collections.abc import Callable
+from time import perf_counter
 
+from repro import observability as _obs
+from repro.observability import flight as _flight
 from repro.sanitizer.state import SAN as _SAN
 
 from .queue import Command, CommandQueue, CopyCommand, KernelCommand, RecordEventCommand, WaitEventCommand
@@ -130,6 +133,7 @@ class ParallelEngine:
             return
         if run_command is None:
             run_command = self._default_run
+        t0 = perf_counter() if _obs.OBS.active else 0.0
 
         abort = threading.Event()
         errors: list[BaseException] = []
@@ -166,6 +170,7 @@ class ParallelEngine:
                 # possible, run inline and keep the exception story trivial
                 for cmd in next(iter(programs.values())):
                     self._step(cmd, run_command, abort=None)
+                self._observe_batch(t0, programs)
                 return
             for dev_uid, program in sorted(programs.items()):
                 self._worker(dev_uid).submit(make_job(program))
@@ -173,6 +178,7 @@ class ParallelEngine:
                 done.acquire()
         if errors:
             raise errors[0]
+        self._observe_batch(t0, programs)
 
     def close(self) -> None:
         """Retire every persistent worker thread (idempotent)."""
@@ -184,6 +190,19 @@ class ParallelEngine:
             w.thread.join()
 
     # -- internals ----------------------------------------------------------
+    @staticmethod
+    def _observe_batch(t0: float, programs: dict[int, list[Command]]) -> None:
+        """Record one successful batch replay into the metrics registry."""
+        if not _obs.OBS.active:
+            return
+        m = _obs.OBS.metrics
+        m.counter("engine_batches", devices=str(len(programs))).inc()
+        m.histogram(
+            "engine_batch_seconds",
+            bounds=_obs.Histogram.TIME_BOUNDS,
+            devices=str(len(programs)),
+        ).observe(perf_counter() - t0)
+
     def _worker(self, dev_uid: int) -> _Worker:
         w = self._workers.get(dev_uid)
         if w is None:
@@ -213,6 +232,8 @@ class ParallelEngine:
         missing = [cmd for uid, cmd in waited.items() if uid not in recorded]
         if missing:
             names = ", ".join(cmd.name for cmd in missing[:5])
+            _flight.record("host", "deadlock", "engine.preflight", {"missing_waits": names})
+            _flight.dump("engine_deadlock", {"stage": "preflight", "missing": len(missing)})
             raise EngineDeadlock(
                 f"{len(missing)} wait(s) on events never recorded in this batch ({names}); "
                 "the replay would block forever"
@@ -227,6 +248,9 @@ class ParallelEngine:
                     return
                 deadline -= 0.05
                 if deadline <= 0:
+                    worker = threading.current_thread().name
+                    _flight.record(worker, "deadlock", cmd.name, {"timeout": self.deadlock_timeout})
+                    _flight.dump("engine_deadlock", {"stage": "watchdog", "command": cmd.name})
                     raise EngineDeadlock(
                         f"worker stalled {self.deadlock_timeout:.0f}s on {cmd.name}; "
                         "the recording queue made no progress"

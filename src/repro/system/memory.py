@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -240,6 +241,7 @@ class StagingPool:
         need (``buf[:nbytes]``) and must hand the *same* array back to
         :meth:`release` when the transfer retires.
         """
+        t0 = perf_counter() if _obs.OBS.active else 0.0
         bucket = self._bucket(nbytes)
         key = (device.uid, bucket)
         with self._lock:
@@ -262,6 +264,12 @@ class StagingPool:
             m = _obs.OBS.metrics
             m.counter("staging_pool_hits" if hit else "staging_pool_misses").inc()
             m.gauge("staging_pool_resident_bytes", device=device.metric_label).set(resident)
+            # distinguishes the O(1) free-list pop from an allocator round-trip
+            m.histogram(
+                "staging_acquire_seconds",
+                bounds=_obs.Histogram.TIME_BOUNDS,
+                outcome="hit" if hit else "miss",
+            ).observe(perf_counter() - t0)
         return arr
 
     def release(self, device: Device, arr: np.ndarray) -> None:

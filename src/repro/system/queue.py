@@ -39,6 +39,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro import observability as _obs
 from repro import resilience as _res
@@ -285,7 +286,9 @@ class CommandQueue:
             m.counter("copies", device=self.device.metric_label).inc()
             m.counter("copy_bytes", src=src.metric_label, dst=dst.metric_label).inc(nbytes)
             m.gauge("queue_depth", queue=self.name).set(len(self.commands))
+            m.histogram("copy_size_bytes", src=str(src.index), dst=str(dst.index)).observe(nbytes)
         if self.eager:
+            t0 = perf_counter() if _obs.OBS.active else 0.0
             if _res.RES.active:
                 # copy-fault injection site: both endpoints are loss-checked
                 _res.execute_command(
@@ -293,6 +296,14 @@ class CommandQueue:
                 )
             else:
                 fn()
+            if _obs.OBS.active:
+                # observed latency includes any retry/backoff — that IS the cost
+                _obs.OBS.metrics.histogram(
+                    "copy_seconds",
+                    bounds=_obs.Histogram.TIME_BOUNDS,
+                    src=str(src.index),
+                    dst=str(dst.index),
+                ).observe(perf_counter() - t0)
             if _SAN.active:
                 _SAN.record(cmd)
         return cmd

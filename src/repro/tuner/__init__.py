@@ -20,7 +20,7 @@ skeleton (OCC x mode only — re-partitioning needs a grid rebuild), and
 :func:`tune_workload` / ``python -m repro tune`` for the full search.
 """
 
-from .feedback import CalibrationReport, Recalibrator, kernel_samples_from_trace
+from .feedback import CalibrationReport, Recalibrator, kernel_samples_from_trace, samples_from_metrics
 from .search import Candidate, TunePlan, tune_workload
 from .weights import WorkloadProfile, device_shares, profile_workload
 from .workloads import TUNER_WORKLOADS, build_tuner_workload
@@ -35,6 +35,7 @@ __all__ = [
     "build_tuner_workload",
     "device_shares",
     "kernel_samples_from_trace",
+    "samples_from_metrics",
     "profile_workload",
     "tune_workload",
 ]

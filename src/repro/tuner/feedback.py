@@ -22,7 +22,16 @@ from repro.sim.machine import MachineSpec
 from .search import TunePlan, tune_workload
 
 
-def kernel_samples_from_trace(spans, result) -> dict[int, list[KernelSample]]:
+def _program_costs(result) -> dict[str, tuple[int, object]]:
+    """Map each compiled kernel step's label to (rank, KernelCost)."""
+    costs: dict[str, tuple[int, object]] = {}
+    for step in result.plan._ensure_program().steps:
+        if step.kind == "kernel" and step.command is not None:
+            costs[step.label] = (step.rank, step.command.cost)
+    return costs
+
+
+def kernel_samples_from_trace(spans, result, metrics=None) -> dict[int, list[KernelSample]]:
     """Join observability kernel spans with the recorded kernel costs.
 
     ``spans`` are :class:`~repro.observability.tracer.TraceSpan`s (the
@@ -31,12 +40,15 @@ def kernel_samples_from_trace(spans, result) -> dict[int, list[KernelSample]]:
     :class:`ExecutionResult`, whose compiled program knows each label's
     :class:`KernelCost`.  The join key is the launch label, which the
     executor and the scheduler derive from the same step metadata.
+
+    When ``spans`` yields no kernel samples (tracer disabled or dropped)
+    and ``metrics`` is given, falls back to
+    :func:`samples_from_metrics` — histogram summaries carry less
+    information than individual spans (one mean-weighted sample per
+    site instead of one per launch) but keep the recalibration loop
+    alive on metrics-only deployments.
     """
-    costs: dict[str, tuple[int, object]] = {}
-    program_steps = result.plan._ensure_program().steps
-    for step in program_steps:
-        if step.kind == "kernel" and step.command is not None:
-            costs[step.label] = (step.rank, step.command.cost)
+    costs = _program_costs(result)
     samples: dict[int, list[KernelSample]] = {}
     for span in spans:
         if getattr(span, "cat", None) != "kernel":
@@ -50,6 +62,38 @@ def kernel_samples_from_trace(spans, result) -> dict[int, list[KernelSample]]:
                 bytes_moved=cost.bytes_moved * cost.indirection,
                 launches=cost.launches,
                 seconds=span.duration,
+            )
+        )
+    if not samples and metrics is not None:
+        return samples_from_metrics(metrics, result)
+    return samples
+
+
+def samples_from_metrics(metrics, result) -> dict[int, list[KernelSample]]:
+    """Build calibration samples from ``kernel_seconds`` histograms.
+
+    ``metrics`` is a :class:`~repro.observability.metrics.MetricsRegistry`
+    whose ``kernel_seconds{device,kernel}`` series were populated by the
+    instrumented launch path.  Each series contributes one
+    :class:`KernelSample` with ``seconds`` = the series mean (the
+    distribution is collapsed — that is the price of the aggregated
+    representation), joined to the program's :class:`KernelCost` by the
+    kernel label exactly like the span-based path.
+    """
+    costs = _program_costs(result)
+    samples: dict[int, list[KernelSample]] = {}
+    for summary in metrics.histogram_summaries("kernel_seconds"):
+        if not summary.get("count"):
+            continue
+        hit = costs.get(summary.get("labels", {}).get("kernel"))
+        if hit is None:
+            continue
+        rank, cost = hit
+        samples.setdefault(rank, []).append(
+            KernelSample(
+                bytes_moved=cost.bytes_moved * cost.indirection,
+                launches=cost.launches,
+                seconds=summary["mean"],
             )
         )
     return samples
@@ -91,6 +135,10 @@ class Recalibrator:
         """Merge a batch of samples (e.g. from kernel_samples_from_trace)."""
         for rank, batch in samples.items():
             self._samples.setdefault(rank, []).extend(batch)
+
+    def ingest_metrics(self, metrics, result) -> None:
+        """Merge samples distilled from ``kernel_seconds`` histograms."""
+        self.ingest(samples_from_metrics(metrics, result))
 
     # -- model assessment --------------------------------------------------
     def check(self) -> CalibrationReport:
@@ -150,4 +198,5 @@ __all__ = [
     "CalibrationReport",
     "Recalibrator",
     "kernel_samples_from_trace",
+    "samples_from_metrics",
 ]

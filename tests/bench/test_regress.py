@@ -1,0 +1,97 @@
+"""Bench regression checker: schema handling and verdict logic."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BENCH_SCHEMA, read_bench_json, write_bench_json
+from repro.bench.regress import check_regression, compare_docs, render
+
+
+def _doc(wall=1.0, mlups=100.0, sim=0.01, schema=BENCH_SCHEMA, **extra):
+    doc = {
+        "schema": schema,
+        "exp": "lbm",
+        "params": {},
+        "env": {},
+        "results": [
+            {
+                "label": "lbm-serial",
+                "mode": "serial",
+                "wall_clock_s": wall,
+                "sim_makespan_s": sim,
+                "mlups": mlups,
+            }
+        ],
+    }
+    doc.update(extra)
+    return doc
+
+
+def test_identical_docs_have_no_regressions():
+    findings = compare_docs(_doc(), _doc())
+    assert findings and not any(f.regression for f in findings)
+
+
+def test_wall_clock_increase_past_threshold_flags():
+    findings = compare_docs(_doc(wall=1.0), _doc(wall=1.5), threshold=0.25)
+    flagged = [f for f in findings if f.regression]
+    assert [(f.label, f.metric) for f in flagged] == [("lbm-serial", "wall_clock_s")]
+    assert flagged[0].delta == pytest.approx(0.5)
+
+
+def test_throughput_drop_flags_but_gain_does_not():
+    worse = compare_docs(_doc(mlups=100.0), _doc(mlups=50.0), threshold=0.25)
+    assert any(f.regression and f.metric == "mlups" for f in worse)
+    better = compare_docs(_doc(mlups=100.0), _doc(mlups=200.0), threshold=0.25)
+    assert not any(f.regression for f in better)
+
+
+def test_unmatched_labels_are_skipped():
+    new = _doc()
+    new["results"][0]["label"] = "lbm-parallel"
+    assert compare_docs(_doc(), new) == []
+
+
+def test_percentile_tail_regression_detected():
+    pct_old = {"kernel_seconds": [{"labels": {"device": "0"}, "p50": 1e-3, "p99": 2e-3}]}
+    pct_new = {"kernel_seconds": [{"labels": {"device": "0"}, "p50": 1e-3, "p99": 5e-3}]}
+    findings = compare_docs(_doc(percentiles=pct_old), _doc(percentiles=pct_new))
+    tail = [f for f in findings if f.metric == "p99"]
+    assert len(tail) == 1 and tail[0].regression
+    assert tail[0].label == "percentiles:kernel_seconds{device=0}"
+    assert not any(f.regression for f in findings if f.metric == "p50")
+
+
+def test_check_regression_reads_both_schema_versions(tmp_path):
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps(_doc(schema="repro-bench/1")))
+    new = write_bench_json(
+        tmp_path / "new.json",
+        "lbm",
+        {},
+        _doc(wall=2.0)["results"],
+        percentiles={"kernel_seconds": []},
+    )
+    findings, ok = check_regression(old, new, threshold=0.25)
+    assert not ok
+    assert any(f.regression and f.metric == "wall_clock_s" for f in findings)
+
+
+def test_read_bench_json_upgrades_v1_and_rejects_unknown(tmp_path):
+    p = tmp_path / "b.json"
+    p.write_text(json.dumps(_doc(schema="repro-bench/1")))
+    doc = read_bench_json(p)
+    assert doc["percentiles"] == {} and doc["critical_path"] == {}
+    p.write_text(json.dumps(_doc(schema="repro-bench/99")))
+    with pytest.raises(ValueError, match="unknown bench schema"):
+        read_bench_json(p)
+
+
+def test_render_lists_regressions_first():
+    findings = compare_docs(_doc(wall=1.0, mlups=100.0), _doc(wall=2.0, mlups=100.0))
+    text = render(findings, 0.25)
+    lines = text.splitlines()
+    assert "REGRESSION" in lines[1]
+    assert lines[-1].startswith("  => 1 regression(s)")
+    assert render([], 0.25).startswith("no comparable metrics")

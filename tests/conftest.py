@@ -37,6 +37,25 @@ def observability_per_test(request):
 
 
 @pytest.fixture(autouse=True)
+def flight_sandboxed(tmp_path):
+    """Fresh flight-recorder rings per test, dumps redirected to tmp_path.
+
+    The recorder is always-on by design; redirecting ``dump_dir`` keeps
+    terminal-failure tests (injected device loss, deadlocks, sanitizer
+    violations) from littering the repo with FLIGHT_*.json artifacts.
+    """
+    from repro.observability import flight
+
+    flight.reset()
+    flight.FLIGHT.dump_dir = str(tmp_path)
+    try:
+        yield flight.FLIGHT
+    finally:
+        flight.reset()
+        flight.FLIGHT.dump_dir = "."
+
+
+@pytest.fixture(autouse=True)
 def resilience_disarmed():
     """Keep the documented default (no fault injection) true between tests."""
     res.reset()

@@ -1,0 +1,106 @@
+"""Flight recorder: bounded rings, dump artifacts, and the post-mortem
+contract — a terminal failure leaves a FLIGHT_*.json that names the
+failing site."""
+
+import json
+
+from repro.observability import flight
+from repro.observability.flight import FlightRecorder
+
+
+def test_ring_is_bounded_per_track():
+    rec = FlightRecorder(capacity=4)
+    for i in range(10):
+        rec.record("device0", "kernel", f"k{i}")
+    rec.record("host", "note", "alone")
+    snap = rec.snapshot()
+    assert [e["name"] for e in snap["device0"]] == ["k6", "k7", "k8", "k9"]
+    assert [e["name"] for e in snap["host"]] == ["alone"]
+    assert rec.records == 11  # evictions do not uncount events
+
+
+def test_sequence_is_global_across_tracks():
+    rec = FlightRecorder()
+    rec.record("a", "note", "first")
+    rec.record("b", "note", "second")
+    snap = rec.snapshot()
+    assert snap["a"][0]["seq"] < snap["b"][0]["seq"]
+
+
+def test_dump_writes_schema_and_events(tmp_path):
+    rec = FlightRecorder(capacity=8, dump_dir=str(tmp_path))
+    rec.record("device1", "fault", "axpy@1", {"kind": "device_lost", "rank": 1})
+    path = rec.dump("unit_test", {"why": "testing"})
+    doc = json.loads((tmp_path / "FLIGHT_unit_test_0.json").read_text())
+    assert path.endswith("FLIGHT_unit_test_0.json")
+    assert doc["schema"] == "repro-flight/1"
+    assert doc["reason"] == "unit_test" and doc["context"] == {"why": "testing"}
+    ev = doc["tracks"]["device1"][0]
+    assert ev["kind"] == "fault" and ev["name"] == "axpy@1"
+    assert ev["detail"] == {"kind": "device_lost", "rank": 1}
+    # repeated dumps get distinct file names
+    rec.dump("unit_test")
+    assert (tmp_path / "FLIGHT_unit_test_1.json").exists()
+
+
+def test_module_record_respects_enabled_flag():
+    flight.configure(enabled=False)
+    try:
+        flight.record("host", "note", "dropped")
+        assert flight.FLIGHT.records == 0
+        assert flight.dump("nope") is None
+    finally:
+        flight.configure(enabled=True)
+
+
+def test_configure_capacity_rebounds_existing_rings():
+    flight.record("host", "note", "a")
+    flight.record("host", "note", "b")
+    flight.record("host", "note", "c")
+    flight.configure(capacity=2)
+    snap = flight.FLIGHT.snapshot()
+    assert [e["name"] for e in snap["host"]] == ["b", "c"]
+
+
+def test_permanent_device_loss_dump_names_failing_site(tmp_path):
+    """End-to-end post-mortem: an injected permanent device loss that the
+    driver cannot degrade around must leave a FLIGHT dump whose fault
+    event carries the failing command's site key."""
+    import pytest
+
+    from repro import resilience as res
+    from repro.resilience import (
+        DeviceLost,
+        FaultPlan,
+        RecoveryPolicy,
+        ResilientDriver,
+    )
+    from repro.system import Backend
+    from tests.resilience.test_runner import CountingApp
+
+    flight.configure(dump_dir=str(tmp_path))
+    plan = FaultPlan(seed=0, device_loss={1: 1})
+    driver = ResilientDriver(
+        CountingApp,
+        Backend.sim_gpus(2),
+        steps=4,
+        plan=plan,
+        # min_devices == device count: losing any device is terminal
+        policy=RecoveryPolicy(min_devices=2),
+    )
+    with res.session(plan), pytest.raises(DeviceLost):
+        driver.run()
+
+    dumps = sorted(tmp_path.glob("FLIGHT_resilience_*.json"))
+    assert dumps, "terminal ResilienceError must produce a flight dump"
+    doc = json.loads(dumps[0].read_text())
+    assert doc["schema"] == "repro-flight/1"
+    faults = [
+        e
+        for e in doc["tracks"].get("device1", [])
+        if e["kind"] == "fault" and e.get("detail", {}).get("kind") == "device_lost"
+    ]
+    assert faults, f"no device_lost fault event in dump tracks: {sorted(doc['tracks'])}"
+    # the site key names the command that touched the lost device
+    assert "@" in faults[0]["name"]
+    assert faults[0]["detail"]["rank"] == 1

@@ -1,0 +1,119 @@
+"""Histogram metrics: exact small-sample percentiles, P² streaming
+estimates at scale, bucket bounds, and the label-cardinality guard."""
+
+import random
+
+import pytest
+
+from repro.observability.metrics import Histogram, MetricsRegistry, _exact_quantile
+
+
+def _hist(bounds=None):
+    return MetricsRegistry().histogram("h", bounds=bounds)
+
+
+def test_empty_histogram_summary():
+    h = _hist()
+    assert h.summary() == {"count": 0, "sum": 0.0, "mean": 0.0}
+    assert h.quantile(0.5) == 0.0
+
+
+def test_small_sample_percentiles_are_exact():
+    h = _hist()
+    for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0):
+        h.observe(v)
+    # 10 observations fit the reservoir: linear-interpolated exact values
+    assert h.quantile(0.5) == pytest.approx(5.5)
+    assert h.quantile(0.9) == pytest.approx(9.1)
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(1.0) == 10.0
+    s = h.summary()
+    assert s["count"] == 10 and s["min"] == 1.0 and s["max"] == 10.0
+    assert s["mean"] == pytest.approx(5.5)
+    assert set(s) >= {"p50", "p90", "p99"}
+
+
+def test_streaming_quantiles_track_uniform_distribution():
+    # well beyond the exact reservoir: P² estimates take over
+    rng = random.Random(42)
+    h = _hist()
+    n = 20_000
+    for _ in range(n):
+        h.observe(rng.uniform(0.0, 1.0))
+    assert h.count == n and len(h._sample) == Histogram.SAMPLE_MAX
+    assert h.quantile(0.5) == pytest.approx(0.5, abs=0.03)
+    assert h.quantile(0.9) == pytest.approx(0.9, abs=0.03)
+    assert h.quantile(0.99) == pytest.approx(0.99, abs=0.02)
+
+
+def test_streaming_quantiles_track_heavy_tail():
+    # exponential-ish tail: the shape real latencies have
+    rng = random.Random(7)
+    h = _hist(bounds=Histogram.TIME_BOUNDS)
+    import math
+
+    vals = [1e-4 * -math.log(1.0 - rng.random()) for _ in range(10_000)]
+    for v in vals:
+        h.observe(v)
+    ordered = sorted(vals)
+    for p in (0.5, 0.9, 0.99):
+        exact = _exact_quantile(ordered, p)
+        assert h.quantile(p) == pytest.approx(exact, rel=0.15)
+
+
+def test_untracked_quantile_raises_beyond_reservoir():
+    h = _hist()
+    for i in range(Histogram.SAMPLE_MAX + 10):
+        h.observe(float(i))
+    with pytest.raises(ValueError, match="not tracked"):
+        h.quantile(0.75)
+
+
+def test_bucket_bounds_partition_observations():
+    h = _hist(bounds=(1.0, 10.0, float("inf")))
+    for v in (0.5, 1.0, 5.0, 50.0):
+        h.observe(v)
+    assert h.buckets == [2, 1, 1]  # <=1, <=10, +inf
+    assert sum(h.buckets) == h.count
+
+
+def test_default_bounds_cover_bytes_and_time():
+    assert Histogram.BOUNDS[0] == 1.0 and Histogram.BOUNDS[-1] == float("inf")
+    assert Histogram.TIME_BOUNDS[0] == pytest.approx(1e-6)
+    assert Histogram.TIME_BOUNDS[-1] == float("inf")
+
+
+def test_registry_histogram_summaries_include_labels():
+    m = MetricsRegistry()
+    m.histogram("lat", device="0").observe(1.0)
+    m.histogram("lat", device="1").observe(2.0)
+    summaries = m.histogram_summaries("lat")
+    assert [s["labels"] for s in summaries] == [{"device": "0"}, {"device": "1"}]
+    assert all(s["count"] == 1 for s in summaries)
+
+
+def test_label_cardinality_guard_folds_overflow():
+    m = MetricsRegistry(max_label_sets=3)
+    for i in range(10):
+        m.histogram("lat", site=str(i)).observe(float(i))
+    # 3 real series + one fold-over series holding the other 7
+    series = m.series("lat")
+    assert len(series) == 4
+    overflow = [s for s in series if s.labels == MetricsRegistry.OVERFLOW_LABELS]
+    assert len(overflow) == 1 and overflow[0].count == 7
+    assert m.label_overflows == {"lat": 7}
+    # the overflow shows up in the JSON export as a pseudo-metric
+    doc = m.to_json()
+    assert doc["_label_overflows"] == [
+        {"labels": {"metric": "lat"}, "type": "counter", "value": 7.0}
+    ]
+
+
+def test_cardinality_guard_is_per_metric_name():
+    m = MetricsRegistry(max_label_sets=2)
+    m.counter("a", k="1").inc()
+    m.counter("a", k="2").inc()
+    m.counter("b", k="1").inc()  # different name: its own budget
+    m.counter("a", k="3").inc()  # over budget for "a"
+    assert m.label_overflows == {"a": 1}
+    assert m.value("b", k="1") == 1.0

@@ -15,6 +15,7 @@ import sys
 import timeit
 
 from repro import observability as obs
+from repro.observability import flight
 from repro.core import ops
 from repro.domain import STENCIL_7PT, DenseGrid
 from repro.skeleton import Skeleton
@@ -55,25 +56,36 @@ def test_disabled_by_default():
 
 
 def test_disabled_overhead_under_2_percent():
-    # (a) instrumentation events per run, counted on an enabled recording
+    # (a) instrumentation events per run, counted on an enabled recording.
+    # The flight recorder is always-on (it exists for post-mortems), so
+    # its ring-buffer appends are part of the same budget: every histogram
+    # observation, span, and flight record counts as one guarded event.
     obs.enable()
+    flight.reset()
     sk = _build_skeleton()
     sk.run()
     events = obs.metrics().updates + len(obs.tracer())
+    flight_records = flight.FLIGHT.records
     assert events > 0
 
-    # (b) per-guard cost of the disabled fast path, measured pessimistically
+    # (b) per-event costs, measured pessimistically.  Guarded sites pay
+    # one attribute read while disabled; flight records pay the real
+    # ring append (they are always-on by design), so they are costed at
+    # their full record() price, not the guard price.
     obs.reset()
     n = 50_000
     per_guard = timeit.timeit(lambda: obs.OBS.active, number=n) / n
+    rec = flight.FlightRecorder()
+    per_record = timeit.timeit(lambda: rec.record("d0", "kernel", "k"), number=n) / n
 
     # (c) actual disabled run time of the same skeleton
     sk.run()  # warm caches
     t_run = min(timeit.repeat(sk.run, number=1, repeat=5))
 
-    worst_case_overhead = events * per_guard
+    worst_case_overhead = events * per_guard + flight_records * per_record
     assert worst_case_overhead < 0.02 * t_run, (
         f"disabled instrumentation bound violated: {events} guarded sites x "
-        f"{per_guard * 1e9:.0f} ns = {worst_case_overhead * 1e6:.1f} us vs "
+        f"{per_guard * 1e9:.0f} ns + {flight_records} flight records x "
+        f"{per_record * 1e9:.0f} ns = {worst_case_overhead * 1e6:.1f} us vs "
         f"run() = {t_run * 1e6:.1f} us"
     )

@@ -115,3 +115,70 @@ def test_trace_join_ignores_foreign_spans():
         TraceSpan(name="unknown[9]", cat="kernel", start=0.0, end=1.0, pid="device9", tid="q"),
     ]
     assert kernel_samples_from_trace(foreign, result) == {}
+
+
+def test_samples_from_metrics_joins_histograms_to_costs():
+    from repro import observability as obs
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+    from repro.tuner import samples_from_metrics
+
+    obs.enable()
+    try:
+        cavity = LidDrivenCavity(Backend.sim_gpus(2), (8, 8, 8))
+        cavity.step(2)
+        result = cavity.skeletons[0].record()
+        samples = samples_from_metrics(obs.metrics(), result)
+        summaries = obs.metrics().histogram_summaries("kernel_seconds")
+    finally:
+        obs.disable()
+    assert set(samples) == {0, 1}
+    # one mean-weighted sample per kernel_seconds series that joined
+    means = {s["labels"]["kernel"]: s["mean"] for s in summaries}
+    joined = [s for batch in samples.values() for s in batch]
+    assert all(s.seconds in means.values() for s in joined)
+    assert all(s.bytes_moved > 0 and s.launches >= 1 for s in joined)
+
+
+def test_trace_join_falls_back_to_metrics():
+    from repro import observability as obs
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+    from repro.tuner import samples_from_metrics
+
+    obs.enable()
+    try:
+        cavity = LidDrivenCavity(Backend.sim_gpus(2), (8, 8, 8))
+        cavity.step(2)
+        result = cavity.skeletons[0].record()
+        m = obs.metrics()
+        # no kernel spans supplied -> histogram fallback kicks in
+        fallback = kernel_samples_from_trace([], result, metrics=m)
+        direct = samples_from_metrics(m, result)
+    finally:
+        obs.disable()
+    assert fallback and {r: len(b) for r, b in fallback.items()} == {
+        r: len(b) for r, b in direct.items()
+    }
+    # without metrics the old contract holds: empty join stays empty
+    assert kernel_samples_from_trace([], result) == {}
+
+
+def test_recalibrator_ingest_metrics_feeds_check():
+    from repro import observability as obs
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+
+    obs.enable()
+    try:
+        backend = Backend.sim_gpus(2)
+        cavity = LidDrivenCavity(backend, (8, 8, 8))
+        cavity.step(3)
+        result = cavity.skeletons[0].record()
+        rec = Recalibrator(backend.machine)
+        rec.ingest_metrics(obs.metrics(), result)
+        report = rec.check()
+    finally:
+        obs.disable()
+    assert set(report.quality) == {0, 1}
+    assert report.worst_quality > 0.0
