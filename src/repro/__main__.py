@@ -40,6 +40,14 @@
         # bench regression check between two BENCH_*.json documents
         # (schema /1 or /2); warn-only by default, --strict exits
         # non-zero on any metric past --threshold
+    python -m repro chaos lbm --events 50 --seed 2026 -o CHAOS_lbm.json
+        # chaos soak: drive a miniature through the adaptive resilient
+        # driver under a calibrated storm of transient faults, silent
+        # corruption, multiple device losses and seeded checkpoint
+        # tampering; the run must finish *bitwise identical* to its
+        # fault-free reference and deliver at least --events fault
+        # events, or the command exits non-zero; --format text|json|html
+        # renders the chaos report through the dashboard
 """
 
 from __future__ import annotations
@@ -364,6 +372,60 @@ def cmd_report(
     return 0
 
 
+def cmd_chaos(
+    name: str,
+    events: int,
+    seed: int,
+    devices: int,
+    losses: int,
+    fmt: str,
+    out: str | None,
+    flight_out: str | None,
+) -> int:
+    import json
+
+    from repro import observability as obs
+    from repro.bench.chaos import run_chaos
+    from repro.bench.dashboard import chaos_to_html, chaos_to_text
+    from repro.observability import flight
+
+    obs.enable()
+    try:
+        report = run_chaos(name, events=events, seed=seed, devices=devices, losses=losses)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    finally:
+        obs.disable()
+    doc = report.to_json()
+    print(report.summary())
+    if out:
+        if fmt == "html":
+            pathlib.Path(out).write_text(chaos_to_html(doc))
+        elif fmt == "text":
+            pathlib.Path(out).write_text(chaos_to_text(doc) + "\n")
+        else:
+            pathlib.Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+    if flight_out:
+        # the driver only dumps FLIGHT_*.json on terminal failure; a
+        # surviving soak still uploads its ring snapshot as a CI artifact
+        pathlib.Path(flight_out).write_text(
+            json.dumps(
+                {
+                    "schema": "repro-flight/1",
+                    "reason": "chaos_sample",
+                    "context": {"workload": name, "seed": seed, "ok": report.ok},
+                    "tracks": flight.FLIGHT.snapshot(),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {flight_out}")
+    return 0 if report.ok else 1
+
+
 def cmd_info() -> int:
     import numpy
 
@@ -474,6 +536,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write a flight-recorder snapshot JSON (CI artifact)",
     )
+    ch = sub.add_parser("chaos", help="chaos soak: composite fault storm with a bitwise bar")
+    ch.add_argument("name", help="chaos workload: lbm or poisson")
+    ch.add_argument("--events", type=int, default=50, help="minimum fault events to deliver (default 50)")
+    ch.add_argument("--seed", type=int, default=2026, help="storm seed (default 2026)")
+    ch.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
+    ch.add_argument("--losses", type=int, default=2, help="permanent device losses to schedule (default 2)")
+    ch.add_argument("--format", default="json", choices=["text", "json", "html"], help="-o output format")
+    ch.add_argument("-o", "--output", default=None, help="write the chaos report (e.g. CHAOS_lbm.json)")
+    ch.add_argument(
+        "--flight-out",
+        default=None,
+        help="also write a flight-recorder ring snapshot JSON (CI artifact)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -501,6 +576,17 @@ def main(argv: list[str] | None = None) -> int:
             tuple(args.compare) if args.compare else None,
             args.threshold,
             args.strict,
+            args.flight_out,
+        )
+    if args.command == "chaos":
+        return cmd_chaos(
+            args.name,
+            args.events,
+            args.seed,
+            args.devices,
+            args.losses,
+            args.format,
+            args.output,
             args.flight_out,
         )
     return cmd_info()

@@ -326,4 +326,130 @@ iterations={report["iterations"]}</p>
 """
 
 
-__all__ = ["REPORT_SCHEMA", "build_report", "to_html", "to_text"]
+# -- chaos soak rendering ----------------------------------------------------
+def chaos_to_text(doc: dict) -> str:
+    """Terminal rendering of a ``repro-chaos/1`` document."""
+    ev, rec, result = doc["events"], doc["recoveries"], doc["result"]
+    verdict = "SURVIVED" if doc["ok"] else "FAILED"
+    lines = [
+        f"== chaos soak: {doc['workload']} (seed {doc['seed']}) — {verdict} ==",
+        f"devices={doc['devices']} -> {doc['surviving_devices']} surviving, steps={doc['steps']}",
+        "",
+        "-- fault storm --",
+        f"events total         {ev['total']}  (requested >= {ev['requested']})",
+    ]
+    for kind, n in sorted(ev["injected"].items()):
+        lines.append(f"  injected {kind:<10} {n}")
+    lines.append(f"  device losses      {ev['device_losses']}")
+    lines.append(f"  checkpoint tampers {ev['checkpoint_tampers']}")
+    lines.append("")
+    lines.append("-- recovery --")
+    ck = rec["checkpoints"]
+    lines.append(f"rollbacks            {rec['rollbacks']}")
+    lines.append(
+        f"checkpoint fallbacks {ck.get('fallbacks', 0)}  "
+        f"(corrupt generations dropped: {ck.get('corrupt_dropped', 0)}, "
+        f"max restore depth: {ck.get('max_restore_depth', 0)})"
+    )
+    lines.append(f"online retunes       {rec['retunes']}")
+    lines.append(f"recovery wall-clock  {rec['recovery_seconds']:.3f} s")
+    for rep in doc["degrade_reports"]:
+        lines.append(
+            f"degrade -> {rep['devices']} devices: occ={rep['occ']} mode={rep['mode']} "
+            f"shares=[{' '.join(f'{s:.3f}' for s in rep['shares'])}]  "
+            f"tuned {rep['tuned_makespan'] * 1e3:.3f} ms vs uniform "
+            f"{rep['uniform_makespan'] * 1e3:.3f} ms ({100 * rep['improvement']:.1f}% better)"
+        )
+    if doc["flight_kinds"]:
+        kinds = "  ".join(f"{k}={n}" for k, n in doc["flight_kinds"].items())
+        lines.append(f"flight-ring events   {kinds}")
+    lines.append("")
+    lines.append(
+        "-- result vs fault-free reference --\n"
+        + (
+            "bitwise identical"
+            if result["match_bitwise"]
+            else f"MISMATCH: max |err| = {result['max_abs_error']:.3e}"
+        )
+    )
+    return "\n".join(lines)
+
+
+def chaos_to_html(doc: dict) -> str:
+    """A static, zero-dependency HTML chaos report (CI artifact)."""
+    esc = _html.escape
+    ev, rec, result = doc["events"], doc["recoveries"], doc["result"]
+    ck = rec["checkpoints"]
+
+    def row(cells, tag="td"):
+        return "<tr>" + "".join(f"<{tag}>{c}</{tag}>" for c in cells) + "</tr>"
+
+    injected_rows = "".join(
+        row([esc(kind), n]) for kind, n in sorted(ev["injected"].items())
+    )
+    degrade_rows = "".join(
+        row(
+            [
+                rep["devices"],
+                esc(rep["occ"]),
+                esc(rep["mode"]),
+                " ".join(f"{s:.3f}" for s in rep["shares"]),
+                f"{rep['tuned_makespan'] * 1e3:.3f}",
+                f"{rep['uniform_makespan'] * 1e3:.3f}",
+                f"{100 * rep['improvement']:.1f}%",
+            ]
+        )
+        for rep in doc["degrade_reports"]
+    )
+    verdict = "SURVIVED" if doc["ok"] else "FAILED"
+    color = "#4a8" if doc["ok"] else "#d33"
+    bitwise = (
+        "bitwise identical"
+        if result["match_bitwise"]
+        else f"MISMATCH (max |err| = {result['max_abs_error']:.3e})"
+    )
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>chaos soak: {esc(doc["workload"])}</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 60em; color: #222; }}
+table {{ border-collapse: collapse; margin: 0.7em 0; }}
+th, td {{ border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: left; font-variant-numeric: tabular-nums; }}
+th {{ background: #f2f2f2; }}
+.verdict {{ color: {color}; font-weight: bold; }}
+</style></head><body>
+<h1>chaos soak: {esc(doc["workload"])} — <span class="verdict">{verdict}</span></h1>
+<p>seed {doc["seed"]}, {doc["steps"]} steps, devices {doc["devices"]} &rarr;
+{doc["surviving_devices"]} surviving; result vs fault-free reference: <b>{esc(bitwise)}</b></p>
+<h2>Fault storm ({ev["total"]} events, requested &ge; {ev["requested"]})</h2>
+<table>
+{row(["kind", "count"], tag="th")}
+{injected_rows}
+{row(["device losses", ev["device_losses"]])}
+{row(["checkpoint tampers", ev["checkpoint_tampers"]])}
+</table>
+<h2>Recovery</h2>
+<table>
+{row(["rollbacks", rec["rollbacks"]])}
+{row(["checkpoint fallbacks", f"{ck.get('fallbacks', 0)} (corrupt dropped {ck.get('corrupt_dropped', 0)}, max depth {ck.get('max_restore_depth', 0)})"])}
+{row(["online retunes", rec["retunes"]])}
+{row(["recovery wall-clock", f"{rec['recovery_seconds']:.3f} s"])}
+</table>
+<h2>Tuned degradation</h2>
+<table>
+{row(["devices", "occ", "mode", "shares", "tuned (ms)", "uniform (ms)", "improvement"], tag="th")}
+{degrade_rows or row(["(no device losses)", "", "", "", "", "", ""])}
+</table>
+<h2>Raw report</h2>
+<details><summary>JSON</summary><pre>{esc(json.dumps(doc, indent=2))}</pre></details>
+</body></html>
+"""
+
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_report",
+    "chaos_to_html",
+    "chaos_to_text",
+    "to_html",
+    "to_text",
+]

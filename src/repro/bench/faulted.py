@@ -22,23 +22,42 @@ import numpy as np
 from repro import resilience as res
 from repro.domain import STENCIL_7PT, DenseGrid
 from repro.sim import pcie_a100
-from repro.skeleton import check_trace_dependencies, simulate_result
+from repro.skeleton import Occ, check_trace_dependencies, simulate_result
 from repro.system import Backend
 
 
 class _PoissonCGApp:
     """Poisson-CG miniature implementing the resilient-driver protocol.
 
-    Checkpoints carry only the iterate ``x`` (see
-    ``ConjugateGradient.checkpoint_fields``); any restore restarts the
-    Krylov iteration from the restored ``x`` via ``begin()``.
+    Two recovery flavours: by default checkpoints carry only the iterate
+    ``x`` and any restore restarts the Krylov iteration via ``begin()``
+    (convergent, but a different trajectory than the fault-free run);
+    with ``exact=True`` checkpoints carry the full Krylov state
+    (``x, r, p`` + host scalars) and a restore *resumes* the identical
+    trajectory — bitwise-reproducible recovery, which is what the chaos
+    soak harness demands.
+
+    The tuned kwargs (``occ``, ``mode``, ``partition_weights``) let the
+    adaptive driver rebuild this app with the degraded-fleet
+    configuration the autotuner picked.
     """
 
-    def __init__(self, backend: Backend, shape=(16, 16, 16), tolerance: float = 1e-8):
+    def __init__(
+        self,
+        backend: Backend,
+        shape=(16, 16, 16),
+        tolerance: float = 1e-8,
+        occ: Occ = Occ.STANDARD,
+        mode: str = "serial",
+        partition_weights=None,
+        exact: bool = False,
+    ):
         from repro.solvers.cg import ConjugateGradient
         from repro.solvers.poisson import make_neg_laplacian
 
-        grid = DenseGrid(backend, shape, stencils=[STENCIL_7PT], name="rescg")
+        grid = DenseGrid(
+            backend, shape, stencils=[STENCIL_7PT], name="rescg", partition_weights=partition_weights
+        )
         self.b = grid.new_field("b")
         self.x = grid.new_field("x")
         # deterministic, spectrally rich forcing (an off-centre bump — NOT a
@@ -49,8 +68,11 @@ class _PoissonCGApp:
             )
             + 0.01 * (i - j + 2.0 * k)
         )
-        self.cg = ConjugateGradient(grid, make_neg_laplacian, self.b, self.x, name="rescg")
+        self.cg = ConjugateGradient(
+            grid, make_neg_laplacian, self.b, self.x, occ=occ, name="rescg", mode=mode
+        )
         self.tolerance = tolerance
+        self.exact = exact
         self._begun = False
 
     @property
@@ -58,13 +80,13 @@ class _PoissonCGApp:
         return [self.cg.sk_init, self.cg.sk_a, self.cg.sk_b]
 
     def fields(self):
-        return self.cg.checkpoint_fields()
+        return self.cg.krylov_fields() if self.exact else self.cg.checkpoint_fields()
 
     def scalars(self) -> dict:
-        return {}
+        return self.cg.krylov_scalars() if self.exact else {}
 
     def on_restore(self, scalars: dict) -> None:
-        self._begun = False
+        self._begun = self.cg.resume(scalars) if self.exact else False
 
     def step(self, i: int) -> None:
         if not self._begun:
@@ -76,13 +98,29 @@ class _PoissonCGApp:
         return self.x.to_numpy()
 
 
+class _ExactPoissonCGApp(_PoissonCGApp):
+    """Factory alias: the bitwise-recovery flavour used by the chaos soak."""
+
+    def __init__(self, backend: Backend, **kwargs):
+        kwargs.setdefault("exact", True)
+        super().__init__(backend, **kwargs)
+
+
 class _CavityApp:
     """Lid-driven-cavity LBM miniature under the resilient-driver protocol."""
 
-    def __init__(self, backend: Backend, shape=(12, 12, 12)):
+    def __init__(
+        self,
+        backend: Backend,
+        shape=(12, 12, 12),
+        occ: Occ = Occ.STANDARD,
+        mode: str = "serial",
+        partition_weights=None,
+    ):
         from repro.solvers.lbm import LidDrivenCavity
 
-        self.cavity = LidDrivenCavity(backend, shape)
+        self.cavity = LidDrivenCavity(backend, shape, occ=occ, partition_weights=partition_weights)
+        self.mode = mode
 
     @property
     def skeletons(self):
@@ -98,7 +136,7 @@ class _CavityApp:
         self.cavity.restore_scalars(scalars)
 
     def step(self, i: int) -> None:
-        self.cavity.step(1)
+        self.cavity.step(1, mode=self.mode)
 
     def result_array(self) -> np.ndarray:
         return self.cavity.current.to_numpy()

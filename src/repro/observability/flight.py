@@ -25,8 +25,8 @@ Event shape (one tuple per ring slot, JSON-ified on dump)::
 ``seq`` is a process-global monotonic ordinal so events from different
 tracks can be interleaved into one timeline; ``kind`` is one of
 ``kernel | copy | wait | fault | violation | deadlock | rollback |
-degrade | note``; ``detail`` is a small dict (site key, ranks, bytes,
-attempt number...) or ``None``.
+degrade | retune | note``; ``detail`` is a small dict (site key, ranks,
+bytes, attempt number...) or ``None``.
 
 Like the rest of this package, the module imports no other ``repro``
 modules; instrumented sites import it lazily.
@@ -81,6 +81,19 @@ class FlightRecorder:
             ]
             for track, ring in sorted(self.tracks.items())
         }
+
+    def kind_counts(self) -> dict[str, int]:
+        """Surviving ring events tallied by kind, across all tracks.
+
+        Only what the rings still hold (capacity-bounded), so this is a
+        recent-history summary, not a lifetime counter — chaos reports
+        pair it with ``events_recorded`` for the total.
+        """
+        counts: dict[str, int] = {}
+        for ring in self.tracks.values():
+            for _seq, kind, _name, _detail in ring:
+                counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
 
     def dump(self, reason: str, context: dict | None = None) -> str:
         """Write ``FLIGHT_<reason>_<n>.json`` and return its path."""

@@ -40,13 +40,16 @@ from contextlib import contextmanager
 
 from repro import observability as _obs
 
-from .checkpoint import Checkpoint
+from .checkpoint import CHECKPOINT_SCHEMA, Checkpoint, CheckpointStore
 from .errors import (
+    CheckpointCorrupt,
     CopyFault,
     CorruptionDetected,
+    DegradeOverCapacity,
     DeviceLost,
     FaultExhausted,
     LaunchFault,
+    RecoveryBudgetExceeded,
     ResilienceError,
     SolverDiverged,
     TransientFault,
@@ -162,14 +165,19 @@ def should_fail_allocation(rank: int, site: str) -> bool:
 
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
     "RES",
     "Checkpoint",
+    "CheckpointCorrupt",
+    "CheckpointStore",
     "CopyFault",
     "CorruptionDetected",
+    "DegradeOverCapacity",
     "DeviceLost",
     "FaultExhausted",
     "FaultPlan",
     "LaunchFault",
+    "RecoveryBudgetExceeded",
     "RecoveryPolicy",
     "ResilienceError",
     "ResilientDriver",

@@ -61,12 +61,73 @@ class FaultExhausted(ResilienceError):
         self.attempts = attempts
 
 
+class RecoveryBudgetExceeded(FaultExhausted):
+    """Cumulative recovery time overran ``RecoveryPolicy.max_recovery_seconds``.
+
+    A :class:`FaultExhausted` refinement: the retry/rollback machinery is
+    still making progress, but not fast enough to be worth continuing —
+    the wall-clock budget, not the attempt budget, ran out.
+    """
+
+    def __init__(self, phase: str, spent: float, budget: float):
+        # bypass FaultExhausted.__init__'s message; keep its fields coherent
+        ResilienceError.__init__(
+            self,
+            f"recovery budget exhausted during {phase}: "
+            f"{spent:.3f}s spent recovering against a {budget:.3f}s budget",
+        )
+        self.kind = "recovery-budget"
+        self.site = phase
+        self.attempts = 0
+        self.spent = spent
+        self.budget = budget
+
+
 class DeviceLost(ResilienceError):
     """A device failed permanently; commands on it can never succeed."""
 
     def __init__(self, rank: int, message: str | None = None):
         super().__init__(message or f"device {rank} was lost permanently")
         self.rank = rank
+
+
+class DegradeOverCapacity(DeviceLost):
+    """Degradation is impossible: survivors cannot hold the migrated state.
+
+    Raised *before* the rebuild starts, instead of letting a mid-rebuild
+    ``AllocationError`` leave the driver with a half-constructed
+    application.  ``shortfall_bytes`` is how many bytes the worst-loaded
+    survivor is over its capacity under the planned partition.
+    """
+
+    def __init__(self, rank: int, shortfall_bytes: int, demand_bytes: int, capacity_bytes: int):
+        super().__init__(
+            rank,
+            f"device {rank} lost, but the migrated fields need {demand_bytes} B on the "
+            f"worst-loaded survivor against a {capacity_bytes} B capacity "
+            f"({shortfall_bytes} B short); cannot degrade",
+        )
+        self.shortfall_bytes = shortfall_bytes
+        self.demand_bytes = demand_bytes
+        self.capacity_bytes = capacity_bytes
+
+
+class CheckpointCorrupt(ResilienceError):
+    """A checkpoint failed its integrity check at restore time.
+
+    ``generation`` is the checkpoint's position in the store history at
+    the time of detection (0 = newest); ``field_names`` are the arrays
+    whose stored checksum no longer matches their bytes.
+    """
+
+    def __init__(self, field_names: list[str], step: int, generation: int = 0):
+        super().__init__(
+            f"checkpoint at step {step} (generation {generation}) is corrupt: "
+            f"checksum mismatch in field(s) {', '.join(field_names)}"
+        )
+        self.field_names = list(field_names)
+        self.step = step
+        self.generation = generation
 
 
 class CorruptionDetected(ResilienceError):

@@ -1,46 +1,73 @@
-"""Recovery orchestration: the resilient iterative driver.
+"""Recovery orchestration: the adaptive resilient driver.
 
 :class:`ResilientDriver` runs an iterative multi-GPU application under a
-:class:`~repro.resilience.faults.FaultPlan`, providing the three
-recovery behaviours the fault model needs:
+:class:`~repro.resilience.faults.FaultPlan`.  It is the closed-loop
+controller that unifies the resilience and tuner layers:
 
 * **retry** happens below the driver, at the command-queue layer
   (transient faults never surface here unless exhausted);
 * **rollback-and-replay** answers :class:`FaultExhausted` and
-  :class:`CorruptionDetected`: restore the last checkpoint into the
-  live fields and re-run from its step;
-* **degradation** answers :class:`DeviceLost`: shrink the backend to
-  the survivors, rebuild the application (grids re-partition their 1-D
-  slab decomposition, skeletons recompile their stream/event schedule),
-  migrate field state from the checkpoint, and resume.
+  :class:`CorruptionDetected`: restore the newest *verified* checkpoint
+  generation into the live fields and re-run from its step — a tampered
+  snapshot falls back to an older generation instead of poisoning the
+  run (:class:`~repro.resilience.checkpoint.CheckpointStore`);
+* **tuned degradation** answers :class:`DeviceLost`: shrink the backend
+  to the survivors — each keeping its *own* ``DeviceSpec``
+  (:meth:`MachineSpec.without_rank`) — feed the shrunken machine through
+  the autotuner, rebuild the application with the water-filled partition
+  shares and the DES-chosen OCC/mode, migrate field state from the
+  checkpoint, and resume.  The tuned-vs-uniform makespan delta of the
+  degraded plan is recorded in the flight recorder's degrade event;
+* **online recalibration** closes the loop while the job is healthy:
+  every ``recalibrate_interval`` steps the driver joins observed kernel
+  timings (tracer spans, or the histogram fallback) to the compiled
+  step costs, refits the machine model, and on drift re-tunes and
+  live-repartitions through the same checkpoint/migrate path — no
+  restart.
 
 Applications plug in through a small duck-typed protocol::
 
-    app = factory(backend)     # build grids/fields/skeletons on a backend
+    app = factory(backend, **tuned)  # tuned kwargs the factory accepts
     app.fields()               # -> list[Field]: checkpointable state
     app.scalars()              # -> dict: host-side loop state (optional)
     app.step(i)                # run iteration i
     app.on_restore(scalars)    # re-seed host state after a restore (optional)
+    app.skeletons              # -> list[Skeleton] (optional; recalibration)
 
 ``factory`` must be deterministic in everything it does not restore from
 the checkpoint (boundary conditions, coefficients), so a rebuilt
-application is the same computation on a new decomposition.
+application is the same computation on a new decomposition.  The tuned
+keyword arguments (``partition_weights``, ``occ``, ``mode``) are passed
+only when the factory's signature accepts them.
 """
 
 from __future__ import annotations
 
+import inspect
+import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro import observability as _obs
 from repro.observability import flight as _flight
 
-from .checkpoint import Checkpoint
-from .errors import CorruptionDetected, DeviceLost, FaultExhausted, ResilienceError
+from .checkpoint import Checkpoint, CheckpointStore
+from .errors import (
+    CorruptionDetected,
+    DegradeOverCapacity,
+    DeviceLost,
+    FaultExhausted,
+    RecoveryBudgetExceeded,
+    ResilienceError,
+)
 from .retry import RetryPolicy
 
 #: divergence-guardrail reactions (checked by RecoveryPolicy)
 DIVERGENCE_POLICIES = ("raise", "rollback", "log", "off")
+
+#: tuned kwargs the driver offers a factory on (re)build
+TUNED_KWARGS = ("partition_weights", "occ", "mode")
 
 
 @dataclass
@@ -52,6 +79,18 @@ class RecoveryPolicy:
     divergence: str = "rollback"
     max_rollbacks: int = 32
     min_devices: int = 1
+    #: checkpoint generations kept for corrupt-snapshot fallback
+    checkpoint_generations: int = 3
+    #: cumulative wall-clock seconds allowed inside recovery actions
+    #: (rollback, degrade, recovery rebuild+migrate); None = unbounded
+    max_recovery_seconds: float | None = None
+    #: re-tune the degraded fleet through the autotuner (needs the
+    #: driver's ``experiment`` to name a tuner workload)
+    tuned_degrade: bool = True
+    #: run the recalibration loop every N steps; None = off
+    recalibrate_interval: int | None = None
+    #: relative RMS error above which the machine model counts as drifted
+    retune_quality_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.divergence not in DIVERGENCE_POLICIES:
@@ -62,14 +101,22 @@ class RecoveryPolicy:
             raise ValueError("checkpoint_interval must be >= 1")
         if self.max_rollbacks < 0 or self.min_devices < 1:
             raise ValueError("max_rollbacks must be >= 0 and min_devices >= 1")
+        if self.checkpoint_generations < 1:
+            raise ValueError("checkpoint_generations must be >= 1")
+        if self.max_recovery_seconds is not None and self.max_recovery_seconds < 0:
+            raise ValueError("max_recovery_seconds must be >= 0 (or None for unbounded)")
+        if self.recalibrate_interval is not None and self.recalibrate_interval < 1:
+            raise ValueError("recalibrate_interval must be >= 1 (or None to disable)")
 
 
 def degraded_backend(backend, lost_rank: int, min_devices: int = 1):
     """A new backend on the survivors of ``backend`` after losing one rank.
 
     Survivors are re-indexed ``0..n-2`` (ranks are positional in a
-    DeviceSet); the machine model shrinks with them so the simulated
-    timeline reflects the degraded topology.
+    DeviceSet) and keep their own per-rank ``DeviceSpec``s via
+    :meth:`MachineSpec.without_rank` — on a heterogeneous machine the
+    degraded cost model must describe the cards that actually survived,
+    not a truncated override table.
     """
     from repro.system.backend import Backend  # deferred: keeps this package import-cycle-free
     from repro.system.device import DeviceSet
@@ -81,16 +128,28 @@ def degraded_backend(backend, lost_rank: int, min_devices: int = 1):
             f"device {lost_rank} lost but only {backend.num_devices} device(s) remain "
             f"(min_devices={min_devices}); cannot degrade further",
         )
+    machine = backend.machine
+    if 0 <= lost_rank < machine.num_devices and machine.num_devices > 1:
+        machine = machine.without_rank(lost_rank)
+    else:  # out-of-model rank: fall back to a plain resize
+        machine = machine.with_devices(n)
     return Backend(
         DeviceSet.gpus(n),
-        machine=backend.machine.with_devices(n),
+        machine=machine,
         memory_capacity=backend.allocator.capacity_bytes,
         mem_options=backend.mem_options,
     )
 
 
 class ResilientDriver:
-    """Runs ``steps`` iterations of an application with full recovery."""
+    """Runs ``steps`` iterations of an application with full recovery.
+
+    ``experiment`` optionally names a tuner workload (``lbm``,
+    ``poisson``, ``karman``, ``elasticity``); when set, device-loss
+    degradation re-partitions with tuned shares and the recalibration
+    loop can re-tune on model drift.  Without it the driver behaves like
+    the classic uniform-rebuild controller.
+    """
 
     def __init__(
         self,
@@ -99,6 +158,7 @@ class ResilientDriver:
         steps: int,
         policy: RecoveryPolicy | None = None,
         plan=None,
+        experiment: str | None = None,
     ):
         if steps < 0:
             raise ValueError("steps must be >= 0")
@@ -107,53 +167,284 @@ class ResilientDriver:
         self.steps = steps
         self.policy = policy or RecoveryPolicy()
         self.plan = plan
+        self.experiment = experiment
         self.rollbacks = 0
         self.devices_lost = 0
+        self.retunes = 0
+        #: cumulative wall-clock seconds spent inside recovery actions
+        self.recovery_seconds = 0.0
+        self.store = CheckpointStore(keep=self.policy.checkpoint_generations)
+        #: one dict per degrade event: tuned vs uniform DES makespans
+        self.degrade_reports: list[dict] = []
+        #: one dict per online retune: fit quality + adopted config
+        self.retune_reports: list[dict] = []
+        self.last_tune_plan = None
+        self._tuned: dict | None = None
+        self._recalibrator = None
+        self._span_cursor = 0
+        self._recovery_rebuild = False
 
     # -- recovery actions ---------------------------------------------------
     def _build(self, backend):
-        with _obs.span("resilience.build", cat="resilience", devices=backend.num_devices):
-            return self.factory(backend)
+        kwargs = self._factory_kwargs()
+        with _obs.span(
+            "resilience.build", cat="resilience", devices=backend.num_devices, tuned=bool(kwargs)
+        ):
+            return self.factory(backend, **kwargs)
+
+    def _factory_kwargs(self) -> dict:
+        """The tuned kwargs the factory's signature actually accepts."""
+        if not self._tuned:
+            return {}
+        try:
+            params = inspect.signature(self.factory).parameters
+        except (TypeError, ValueError):  # builtins/partials without signatures
+            return {}
+        accepts_var_kw = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        )
+        kwargs = {
+            k: v
+            for k, v in self._tuned.items()
+            if v is not None and (accepts_var_kw or k in params)
+        }
+        if kwargs.get("mode") == "parallel":
+            from repro import resilience as _res  # self-package, deferred
+
+            if _res.RES.active:
+                # an armed session forces serial replay anyway; pass it
+                # outright instead of warning on every skeleton run
+                kwargs["mode"] = "serial"
+        return kwargs
 
     def _capture(self, app, step: int) -> Checkpoint:
         scalars = app.scalars() if hasattr(app, "scalars") else {}
-        return Checkpoint.capture(app.fields(), scalars, step=step)
+        ckpt = Checkpoint.capture(app.fields(), scalars, step=step)
+        self.store.push(ckpt)
+        return ckpt
 
-    def _restore(self, app, ckpt: Checkpoint) -> int:
-        scalars = ckpt.restore(app.fields())
+    def _restore(self, app) -> int:
+        """Restore the newest *valid* generation; return its step."""
+        ckpt, scalars, generation = self.store.restore_latest_valid(app.fields())
+        if generation > 0:
+            _flight.record(
+                "host",
+                "rollback",
+                "checkpoint_fallback",
+                {"to_step": ckpt.step, "generation": generation, "header": ckpt.header()},
+            )
         if hasattr(app, "on_restore"):
             app.on_restore(scalars)
         return ckpt.step
 
-    def _rollback(self, app, ckpt: Checkpoint, cause: Exception) -> int:
+    def _charge_recovery(self, phase: str, t0: float) -> None:
+        """Account recovery wall-clock; enforce the budget if one is set."""
+        self.recovery_seconds += perf_counter() - t0
+        budget = self.policy.max_recovery_seconds
+        if budget is not None and self.recovery_seconds > budget:
+            _flight.record(
+                "host",
+                "fault",
+                "recovery_budget",
+                {"phase": phase, "spent": self.recovery_seconds, "budget": budget},
+            )
+            raise RecoveryBudgetExceeded(phase, self.recovery_seconds, budget)
+
+    def _rollback(self, app, cause: Exception) -> int:
+        t0 = perf_counter()
         self.rollbacks += 1
         if _obs.OBS.active:
             _obs.OBS.metrics.counter("rollbacks", cause=type(cause).__name__).inc()
+        with _obs.span("resilience.rollback", cat="resilience"):
+            step = self._restore(app)
         _flight.record(
-            "host", "rollback", type(cause).__name__, {"to_step": ckpt.step, "n": self.rollbacks}
+            "host", "rollback", type(cause).__name__, {"to_step": step, "n": self.rollbacks}
         )
-        with _obs.span("resilience.rollback", cat="resilience", to_step=ckpt.step):
-            return self._restore(app, ckpt)
+        self._charge_recovery("rollback", t0)
+        return step
 
     def _degrade(self, lost: DeviceLost):
+        t0 = perf_counter()
         self.devices_lost += 1
         if _obs.OBS.active:
             _obs.OBS.metrics.counter("devices_lost", rank=str(lost.rank)).inc()
-        _flight.record(f"device{lost.rank}", "degrade", f"device{lost.rank} lost")
         with _obs.span("resilience.degrade", cat="resilience", lost_rank=lost.rank):
             new_backend = degraded_backend(self.backend, lost.rank, self.policy.min_devices)
+            tune = None
+            if self.policy.tuned_degrade and self.experiment and new_backend.num_devices > 1:
+                tune = self._tune_for(new_backend)
+            self._check_capacity(lost.rank, new_backend)
             if self.plan is not None:
                 self.plan.acknowledge_loss(lost.rank)
-            return new_backend
+        detail = {"survivors": new_backend.num_devices}
+        if tune is not None:
+            detail.update(
+                tuned_makespan=tune["tuned_makespan"],
+                uniform_makespan=tune["uniform_makespan"],
+                improvement=tune["improvement"],
+                occ=tune["occ"],
+                mode=tune["mode"],
+            )
+        _flight.record(f"device{lost.rank}", "degrade", f"device{lost.rank} lost", detail)
+        self._recovery_rebuild = True
+        self._charge_recovery("degrade", t0)
+        return new_backend
+
+    def _tune_for(self, backend) -> dict | None:
+        """Autotune the shrunken fleet; adopt shares/OCC/mode for rebuild.
+
+        Tuning records candidate schedules on a *virtual* miniature — it
+        is simulation, not work on the real fleet — so the fault plan is
+        disarmed around it: an injection (or the next scheduled loss)
+        must not fire inside the recovery path itself.
+        """
+        from repro import resilience as _res  # self-package, deferred
+        from repro.tuner.search import tune_workload  # deferred: tuner imports system
+
+        armed = _res.RES.active
+        _res.RES.active = False
+        try:
+            plan = tune_workload(self.experiment, backend.machine, devices=backend.num_devices)
+        except (KeyError, ValueError):
+            return None  # not a tuner workload: keep the uniform rebuild
+        finally:
+            _res.RES.active = armed
+        self.last_tune_plan = plan
+        self._tuned = {
+            "partition_weights": plan.best.weights,
+            "occ": plan.best_occ,
+            "mode": plan.best.mode,
+        }
+        report = {
+            "experiment": self.experiment,
+            "machine": backend.machine.name,
+            "devices": backend.num_devices,
+            "occ": plan.best.occ,
+            "mode": plan.best.mode,
+            "weights": plan.best.weights,
+            "shares": plan.shares,
+            "tuned_makespan": plan.best.makespan,
+            "uniform_makespan": plan.baseline.makespan,
+            "improvement": plan.improvement,
+            "uniform_best_makespan": plan.uniform_best.makespan if plan.uniform_best else None,
+            "improvement_vs_best_uniform": plan.tuned_vs_uniform,
+        }
+        self.degrade_reports.append(report)
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("degrade_retunes").inc()
+        return report
+
+    def _check_capacity(self, lost_rank: int, backend) -> None:
+        """Fail degradation early when survivors cannot hold the state.
+
+        A lower-bound check: the checkpointed global arrays alone,
+        distributed by the planned partition shares, must fit the
+        worst-loaded survivor's capacity.  Anything tighter (solver
+        scratch fields, halos, padding) would still fail later, but this
+        catches the hopeless case before a half-built application exists.
+        """
+        capacity = backend.allocator.capacity_bytes
+        ckpt = self.store.latest
+        if capacity is None or ckpt is None:
+            return
+        n = backend.num_devices
+        weights = (self._tuned or {}).get("partition_weights")
+        worst_share = max(weights) if weights else 1.0 / n
+        demand = int(math.ceil(ckpt.nbytes * worst_share))
+        if demand > capacity:
+            raise DegradeOverCapacity(lost_rank, demand - capacity, demand, capacity)
+
+    # -- online recalibration ----------------------------------------------
+    def _recalibrate(self, app, step: int) -> bool:
+        """Ingest fresh samples; on model drift, re-tune and request a
+        live re-partition (returns True when the app must be rebuilt)."""
+        if not self.experiment:
+            return False
+        from repro.tuner.feedback import Recalibrator, kernel_samples_from_trace
+
+        if (
+            self._recalibrator is None
+            or self._recalibrator.machine.num_devices != self.backend.num_devices
+        ):
+            self._recalibrator = Recalibrator(
+                self.backend.machine, quality_threshold=self.policy.retune_quality_threshold
+            )
+            self._span_cursor = 0
+        rec = self._recalibrator
+
+        spans, metrics = [], None
+        if _obs.OBS.active:
+            spans = list(_obs.OBS.tracer.spans)
+            metrics = _obs.OBS.metrics
+        fresh = spans[self._span_cursor :]
+        self._span_cursor = len(spans)
+        for sk in getattr(app, "skeletons", []) or []:
+            result = getattr(sk, "last_result", None)
+            if result is None:
+                continue
+            rec.ingest(kernel_samples_from_trace(fresh, result, metrics=metrics))
+
+        # like _tune_for: the re-tune's candidate recording is simulation,
+        # shielded from the armed fault plan
+        from repro import resilience as _res  # self-package, deferred
+
+        armed = _res.RES.active
+        _res.RES.active = False
+        try:
+            plan = rec.maybe_retune(self.experiment, devices=self.backend.num_devices)
+        finally:
+            _res.RES.active = armed
+        if plan is None:
+            return False
+        self.retunes += 1
+        self.last_tune_plan = plan
+        self._tuned = {
+            "partition_weights": plan.best.weights,
+            "occ": plan.best_occ,
+            "mode": plan.best.mode,
+        }
+        report = {
+            "step": step,
+            "fit_quality": plan.fit_quality,
+            "machine": rec.machine.name,
+            "occ": plan.best.occ,
+            "mode": plan.best.mode,
+            "weights": plan.best.weights,
+            "improvement": plan.improvement,
+        }
+        self.retune_reports.append(report)
+        _flight.record(
+            "host",
+            "retune",
+            "model_drift",
+            {"step": step, "fit_quality": plan.fit_quality, "occ": plan.best.occ, "mode": plan.best.mode},
+        )
+        if _obs.OBS.active:
+            _obs.OBS.metrics.counter("online_retunes").inc()
+
+        # adopt the corrected machine model and re-partition through the
+        # checkpoint/migrate path: capture *now*, rebuild, restore here
+        from repro.system.backend import Backend  # deferred
+        from repro.system.device import DeviceSet
+
+        self.backend = Backend(
+            DeviceSet.gpus(self.backend.num_devices),
+            machine=rec.machine,
+            memory_capacity=self.backend.allocator.capacity_bytes,
+            mem_options=self.backend.mem_options,
+        )
+        self._capture(app, step)
+        return True
 
     # -- the loop -----------------------------------------------------------
     def run(self):
         """Run to completion; return the (possibly rebuilt) application.
 
-        A terminal failure — the retry/rollback budget exhausted, or a
-        device loss that cannot be degraded around — dumps the flight
-        recorder's rings to a ``FLIGHT_*.json`` post-mortem before the
-        exception propagates.
+        A terminal failure — the retry/rollback budget exhausted, the
+        wall-clock recovery budget overrun, every checkpoint generation
+        corrupt, or a device loss that cannot be degraded around — dumps
+        the flight recorder's rings to a ``FLIGHT_*.json`` post-mortem
+        before the exception propagates.
         """
         try:
             return self._run()
@@ -164,6 +455,9 @@ class ResilientDriver:
                     "error": str(exc),
                     "rollbacks": self.rollbacks,
                     "devices_lost": self.devices_lost,
+                    "retunes": self.retunes,
+                    "recovery_seconds": self.recovery_seconds,
+                    "checkpoints": self.store.describe(),
                     "steps": self.steps,
                 },
             )
@@ -172,30 +466,43 @@ class ResilientDriver:
     def _run(self):
         policy = self.policy
         app = None
-        ckpt: Checkpoint | None = None
         i = 0
         with _obs.span("resilience.run", cat="resilience", steps=self.steps):
             while True:
                 try:
                     if app is None:
+                        recovery = self._recovery_rebuild
+                        self._recovery_rebuild = False
+                        t0 = perf_counter()
                         app = self._build(self.backend)
-                        if ckpt is None:
-                            ckpt = self._capture(app, 0)
+                        if len(self.store) == 0:
+                            self._capture(app, 0)
                         else:
-                            i = self._restore(app, ckpt)
+                            i = self._restore(app)
+                        if recovery:
+                            self._charge_recovery("rebuild", t0)
                     while i < self.steps:
                         try:
                             app.step(i)
                             i += 1
                             if i % policy.checkpoint_interval == 0 and i < self.steps:
-                                ckpt = self._capture(app, i)
+                                self._capture(app, i)
+                            if (
+                                policy.recalibrate_interval
+                                and i < self.steps
+                                and i % policy.recalibrate_interval == 0
+                                and self._recalibrate(app, i)
+                            ):
+                                app = None
+                                break
                         except (FaultExhausted, CorruptionDetected) as exc:
                             if isinstance(exc, CorruptionDetected) and policy.divergence == "raise":
                                 raise
                             if self.rollbacks >= policy.max_rollbacks:
                                 raise
-                            i = self._rollback(app, ckpt, exc)
-                    return app
+                            i = self._rollback(app, exc)
+                    if app is not None:
+                        return app
                 except DeviceLost as exc:
                     self.backend = self._degrade(exc)
                     app = None

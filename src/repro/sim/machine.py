@@ -82,6 +82,29 @@ class MachineSpec:
         merged.update(overrides)
         return replace(self, device_overrides=tuple(sorted(merged.items())))
 
+    def without_rank(self, rank: int) -> "MachineSpec":
+        """This machine after losing ``rank``: survivors keep their specs.
+
+        Survivor ranks above the lost one shift down by one (matching how
+        a shrunken DeviceSet re-indexes), and each survivor carries its
+        *own* :class:`DeviceSpec` forward — unlike :meth:`with_devices`,
+        which truncates the override table and silently turns a
+        heterogeneous machine's tail ranks back into default devices.
+        """
+        if not 0 <= rank < self.num_devices:
+            raise ValueError(f"cannot remove rank {rank} from a {self.num_devices}-device machine")
+        if self.num_devices < 2:
+            raise ValueError("cannot remove the last device of a machine")
+        survivors = [r for r in range(self.num_devices) if r != rank]
+        overrides = tuple(
+            (new_rank, spec)
+            for new_rank, old_rank in enumerate(survivors)
+            if (spec := self.device_spec(old_rank)) != self.device
+        )
+        return replace(
+            self, topology=self.topology.resized(self.num_devices - 1), device_overrides=overrides
+        )
+
 
 def dgx_a100(num_devices: int = 8) -> MachineSpec:
     """DGX-A100-like machine: HBM2e GPUs on an NVLink all-to-all fabric.

@@ -223,6 +223,58 @@ class ConjugateGradient:
         """
         return [self.x]
 
+    def krylov_fields(self) -> list:
+        """The *complete* iteration state: ``x``, ``r`` and ``p``.
+
+        Checkpointing all three (plus :meth:`krylov_scalars`) makes a
+        rollback **bitwise-exact**: :meth:`resume` continues the very
+        same Krylov trajectory instead of restarting it, so a recovered
+        run finishes identical to a fault-free one — the property the
+        chaos soak harness asserts.  (``q`` is recomputed from ``p`` at
+        the top of every iteration and needs no snapshot.)
+        """
+        return [self.x, self.r, self.p]
+
+    def krylov_scalars(self) -> dict:
+        """Host-side loop state paired with :meth:`krylov_fields`."""
+        if not hasattr(self, "result"):
+            return {"begun": False}
+        return {
+            "begun": True,
+            "delta": self._delta,
+            "beta": self.beta["v"],
+            "tolerance": self._tolerance,
+            "iterations": self.result.iterations,
+            "converged": self.result.converged,
+            "residual_norms": list(self.result.residual_norms),
+        }
+
+    def resume(self, scalars: dict) -> bool:
+        """Continue the checkpointed trajectory after a restore.
+
+        Returns True when the scalars carried live iteration state (the
+        caller must *not* call :meth:`begin`); False when the checkpoint
+        predates :meth:`begin` and the solve should start fresh.  Works
+        across decompositions: the per-slice dot partials keep both CG
+        scalars bitwise partition-invariant, so a device-loss migration
+        resumes the identical trajectory on the survivors.
+        """
+        if not scalars.get("begun"):
+            return False
+        self._rr_read = ops.ScalarResult(self.rr_partial)
+        self._pq_read = ops.ScalarResult(self.pq_partial)
+        self._delta = scalars["delta"]
+        self._tolerance = scalars["tolerance"]
+        self.beta["v"] = scalars["beta"]
+        self.alpha["v"] = 0.0
+        self.neg_alpha["v"] = 0.0
+        self.result = CGResult(
+            converged=scalars["converged"],
+            iterations=scalars["iterations"],
+            residual_norms=list(scalars["residual_norms"]),
+        )
+        return True
+
     def iteration_makespan(self, machine=None, include_readback: bool = True) -> float:
         """Simulated time of one CG iteration (both skeletons).
 

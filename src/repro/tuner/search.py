@@ -60,9 +60,32 @@ class TunePlan:
             return 0.0
         return 1.0 - self.best.makespan / self.baseline.makespan
 
+    @property
+    def uniform_best(self) -> Candidate | None:
+        """The best candidate restricted to uniform partition weights.
+
+        This is what a weights-blind tuner would pick — the fair
+        comparison point for "did the tuned shares themselves pay off",
+        as opposed to :attr:`baseline` (uniform *and* default OCC/mode),
+        which is what an untuned run would do.
+        """
+        uniform = [c for c in self.candidates if c.weights is None]
+        if not uniform:
+            return None
+        return min(uniform, key=lambda c: c.makespan)
+
+    @property
+    def tuned_vs_uniform(self) -> float:
+        """Fraction of the best-uniform makespan saved by the tuned shares."""
+        u = self.uniform_best
+        if u is None or u.makespan <= 0.0:
+            return 0.0
+        return 1.0 - self.best.makespan / u.makespan
+
     def to_dict(self) -> dict:
         d = asdict(self)
         d["improvement"] = self.improvement
+        d["tuned_vs_uniform"] = self.tuned_vs_uniform
         return d
 
     def to_json(self, indent: int = 2) -> str:

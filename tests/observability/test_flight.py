@@ -104,3 +104,14 @@ def test_permanent_device_loss_dump_names_failing_site(tmp_path):
     # the site key names the command that touched the lost device
     assert "@" in faults[0]["name"]
     assert faults[0]["detail"]["rank"] == 1
+
+
+def test_kind_counts_tallies_surviving_events_across_tracks():
+    fr = FlightRecorder(capacity=4)
+    fr.record("device0", "kernel", "k0")
+    fr.record("device1", "kernel", "k1")
+    fr.record("host", "fault", "boom", {"rank": 1})
+    assert fr.kind_counts() == {"fault": 1, "kernel": 2}
+    for i in range(6):  # overflow the device0 ring: only survivors count
+        fr.record("device0", "copy", f"c{i}")
+    assert fr.kind_counts() == {"copy": 4, "fault": 1, "kernel": 1}

@@ -1,0 +1,302 @@
+"""The adaptive driver: tuned degradation, budgets, recalibration, fallback.
+
+These tests close the loop the runner promises: a heterogeneous fleet
+that loses devices re-partitions with *tuned* shares (and the DES says
+by how much that wins), recovery time is a budget with a typed overrun,
+hopeless degradations fail fast before a half-built app exists, and a
+tampered checkpoint costs one generation — never the run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import resilience as res
+from repro.bench.faulted import _CavityApp
+from repro.domain import STENCIL_7PT, DenseGrid
+from repro.observability import flight
+from repro.resilience import (
+    DegradeOverCapacity,
+    DeviceLost,
+    FaultExhausted,
+    FaultPlan,
+    RecoveryBudgetExceeded,
+    RecoveryPolicy,
+    ResilientDriver,
+)
+from repro.sim import mixed_pcie
+from repro.system import Backend
+
+
+def mixed_backend(n=4, **kw):
+    return Backend.sim_gpus(n, machine=mixed_pcie(n), **kw)
+
+
+def cavity_reference(steps, devices=4):
+    app = _CavityApp(mixed_backend(devices))
+    for i in range(steps):
+        app.step(i)
+    return app.result_array()
+
+
+class FlakyApp:
+    """One field accumulating +1 per step; fails once on request."""
+
+    def __init__(self, backend, shape=(6, 4, 4), fail_at=None, exc=None):
+        grid = DenseGrid(backend, shape, stencils=[STENCIL_7PT], name="flaky")
+        self.u = grid.new_field("u")
+        self.u.fill(0.0)
+        self.fail_at = fail_at
+        self.exc = exc
+        self.fired = False
+
+    def fields(self):
+        return [self.u]
+
+    def scalars(self):
+        return {}
+
+    def on_restore(self, scalars):
+        pass
+
+    def step(self, i):
+        if not self.fired and self.fail_at == i and self.exc is not None:
+            self.fired = True
+            raise self.exc
+        self.u.load_numpy(self.u.to_numpy() + 1.0)
+
+    def value(self):
+        return float(self.u.to_numpy().flat[0])
+
+
+# -- tuned degradation (the acceptance criterion) ----------------------------
+def test_degrade_adopts_tuned_shares_on_heterogeneous_fleet():
+    """Losing a device on ``mixed_pcie`` must re-partition with tuned,
+    non-uniform shares whose DES makespan is >= 10% below the uniform
+    degraded plan — and still finish bitwise-correct."""
+    steps = 8
+    reference = cavity_reference(steps)
+    plan = FaultPlan(7, device_loss={3: 120})
+    policy = RecoveryPolicy(checkpoint_interval=2)
+    driver = ResilientDriver(
+        _CavityApp, mixed_backend(4), steps, policy=policy, plan=plan, experiment="lbm"
+    )
+    with res.session(plan, policy):
+        app = driver.run()
+
+    assert driver.devices_lost == 1
+    assert driver.backend.num_devices == 3
+    [rep] = driver.degrade_reports
+    assert rep["weights"] is not None and len(set(rep["weights"])) > 1
+    assert rep["improvement"] >= 0.10
+    assert rep["tuned_makespan"] <= 0.9 * rep["uniform_makespan"]
+    # the adopted config is what the next rebuild receives
+    assert driver._tuned["partition_weights"] == rep["weights"]
+    assert np.array_equal(app.result_array(), reference)
+
+
+def test_degrade_without_experiment_keeps_uniform_rebuild():
+    plan = FaultPlan(7, device_loss={3: 120})
+    policy = RecoveryPolicy(checkpoint_interval=2)
+    driver = ResilientDriver(_CavityApp, mixed_backend(4), 6, policy=policy, plan=plan)
+    with res.session(plan, policy):
+        driver.run()
+    assert driver.devices_lost == 1
+    assert driver.degrade_reports == []
+    assert driver._tuned is None
+
+
+def test_degrade_event_records_tuned_vs_uniform_in_flight_ring():
+    plan = FaultPlan(7, device_loss={3: 120})
+    policy = RecoveryPolicy(checkpoint_interval=2)
+    driver = ResilientDriver(
+        _CavityApp, mixed_backend(4), 6, policy=policy, plan=plan, experiment="lbm"
+    )
+    with res.session(plan, policy):
+        driver.run()
+    degrades = [
+        ev
+        for ring in flight.FLIGHT.tracks.values()
+        for ev in ring
+        if ev[1] == "degrade"
+    ]
+    assert degrades
+    detail = degrades[0][3]
+    assert detail["tuned_makespan"] < detail["uniform_makespan"]
+    assert detail["improvement"] >= 0.10
+
+
+# -- multiple losses ---------------------------------------------------------
+def test_two_losses_at_different_steps_complete_bitwise():
+    steps = 10
+    reference = cavity_reference(steps)
+    plan = FaultPlan(11, device_loss={3: 150, 2: 700})
+    policy = RecoveryPolicy(checkpoint_interval=2)
+    driver = ResilientDriver(
+        _CavityApp, mixed_backend(4), steps, policy=policy, plan=plan, experiment="lbm"
+    )
+    with res.session(plan, policy):
+        app = driver.run()
+
+    assert driver.devices_lost == 2
+    assert driver.backend.num_devices == 2
+    # survivors were re-indexed monotonically and the plan consumed both
+    assert [d.index for d in driver.backend.devices] == [0, 1]
+    assert plan.lost == set() and plan.device_loss == {}
+    assert np.array_equal(app.result_array(), reference)
+
+
+def test_back_to_back_loss_during_rebuild_completes_bitwise():
+    """The second device dies while the first degrade is still rebuilding:
+    the loss must be absorbed before the 3-device app runs a single step."""
+    steps = 10
+    reference = cavity_reference(steps)
+
+    class SnoopPlan(FaultPlan):
+        """Records every rank's touch count at the moment a loss fires."""
+
+        def touch_device(self, rank):
+            try:
+                super().touch_device(rank)
+            except DeviceLost:
+                self.at_loss = dict(self._touches)
+                raise
+
+    # phase A: single loss; learn how many commands rank 2 had seen when
+    # rank 3 died, so phase B can schedule rank 2's death one command later
+    probe = SnoopPlan(11, device_loss={3: 150, 2: 10**9})
+    policy = RecoveryPolicy(checkpoint_interval=2)
+    driver = ResilientDriver(
+        _CavityApp, mixed_backend(4), steps, policy=policy, plan=probe, experiment="lbm"
+    )
+    with res.session(probe, policy):
+        driver.run()
+    trigger = probe.at_loss[2] + 1
+
+    # phase B: rank 2 dies on its very next command — inside the rebuild
+    built, stepped = [], []
+
+    def factory(backend, **kwargs):
+        built.append(backend.num_devices)
+        app = _CavityApp(backend, **kwargs)
+        inner = app.step
+
+        def step(i):
+            stepped.append(backend.num_devices)
+            inner(i)
+
+        app.step = step
+        return app
+
+    plan = FaultPlan(11, device_loss={3: 150, 2: trigger})
+    driver = ResilientDriver(
+        factory, mixed_backend(4), steps, policy=policy, plan=plan, experiment="lbm"
+    )
+    with res.session(plan, policy):
+        app = driver.run()
+
+    assert driver.devices_lost == 2
+    assert built == [4, 3, 2]
+    assert 3 not in stepped  # the intermediate fleet never ran a step
+    assert np.array_equal(app.result_array(), reference)
+
+
+# -- capacity validation -----------------------------------------------------
+def test_degrade_over_capacity_is_typed_with_byte_shortfall():
+    shape = (40, 8, 8)
+    nbytes = 40 * 8 * 8 * 8
+    capacity = int(nbytes * 0.8)  # fits split across 2, not whole on 1
+    plan = FaultPlan(3, device_loss={1: 10})
+    policy = RecoveryPolicy(checkpoint_interval=2)
+    backend = Backend.sim_gpus(2, memory_capacity=capacity)
+    driver = ResilientDriver(
+        lambda b, **kw: FlakyApp(b, shape=shape), backend, 8, policy=policy, plan=plan
+    )
+    with res.session(plan, policy), pytest.raises(DegradeOverCapacity) as ei:
+        driver.run()
+    exc = ei.value
+    assert isinstance(exc, DeviceLost)
+    assert exc.shortfall_bytes == nbytes - capacity
+    assert exc.demand_bytes == nbytes and exc.capacity_bytes == capacity
+    # terminal failures leave a flight post-mortem
+    assert any("DegradeOverCapacity" in p for p in flight.FLIGHT.dumps)
+
+
+# -- recovery budget ---------------------------------------------------------
+def test_recovery_budget_overrun_raises_typed_error_with_post_mortem():
+    policy = RecoveryPolicy(checkpoint_interval=2, max_recovery_seconds=0.0)
+    exc = FaultExhausted("launch", "site", 4)
+    driver = ResilientDriver(
+        lambda b, **kw: FlakyApp(b, fail_at=3, exc=exc), Backend.sim_gpus(2), 6, policy=policy
+    )
+    with pytest.raises(RecoveryBudgetExceeded) as ei:
+        driver.run()
+    assert isinstance(ei.value, FaultExhausted)  # escalation stays in-family
+    assert ei.value.spent > 0.0 and ei.value.budget == 0.0
+    assert any("RecoveryBudgetExceeded" in p for p in flight.FLIGHT.dumps)
+
+
+def test_recovery_budget_unset_never_trips():
+    exc = FaultExhausted("launch", "site", 4)
+    driver = ResilientDriver(
+        lambda b, **kw: FlakyApp(b, fail_at=3, exc=exc),
+        Backend.sim_gpus(2),
+        6,
+        policy=RecoveryPolicy(checkpoint_interval=2),
+    )
+    app = driver.run()
+    assert app.value() == 6.0
+    assert driver.recovery_seconds > 0.0
+
+
+# -- tampered checkpoints ----------------------------------------------------
+def test_tampered_newest_checkpoint_falls_back_one_generation():
+    class TamperingDriver(ResilientDriver):
+        def _rollback(self, app, cause):
+            if len(self.store) >= 2 and not getattr(self, "_did", False):
+                self._did = True
+                _name, arr = self.store.latest.arrays[0]
+                arr.reshape(-1).view(np.uint8)[3] ^= 0xFF
+            return super()._rollback(app, cause)
+
+    exc = FaultExhausted("launch", "site", 4)
+    driver = TamperingDriver(
+        lambda b, **kw: FlakyApp(b, fail_at=5, exc=exc),
+        Backend.sim_gpus(2),
+        8,
+        policy=RecoveryPolicy(checkpoint_interval=2),
+    )
+    app = driver.run()
+    assert app.value() == 8.0  # replayed from the older generation
+    assert driver.store.fallbacks == 1
+    assert driver.store.corrupt_dropped == 1
+    assert driver.store.max_restore_depth == 1
+
+
+# -- online recalibration ----------------------------------------------------
+def test_online_recalibration_retunes_and_repartitions_live():
+    steps = 9
+    reference = cavity_reference(steps, devices=2)
+    policy = RecoveryPolicy(checkpoint_interval=4, recalibrate_interval=3)
+    driver = ResilientDriver(
+        _CavityApp, mixed_backend(2), steps, policy=policy, experiment="lbm"
+    )
+    app = driver.run()
+
+    # observed wall-clock timings drift wildly from the simulated spec,
+    # so the first recalibration epoch must refit and re-tune
+    assert driver.retunes >= 1
+    rep = driver.retune_reports[0]
+    assert rep["step"] in (3, 6)
+    assert rep["fit_quality"] > policy.retune_quality_threshold
+    # live re-partition: same fleet size, no restart, bitwise result
+    assert driver.backend.num_devices == 2
+    assert driver.devices_lost == 0 and driver.rollbacks == 0
+    assert np.array_equal(app.result_array(), reference)
+
+
+def test_recalibration_without_experiment_is_inert():
+    policy = RecoveryPolicy(checkpoint_interval=4, recalibrate_interval=2)
+    driver = ResilientDriver(lambda b, **kw: FlakyApp(b), Backend.sim_gpus(2), 6, policy=policy)
+    app = driver.run()
+    assert app.value() == 6.0
+    assert driver.retunes == 0 and driver.retune_reports == []

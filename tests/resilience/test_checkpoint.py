@@ -100,3 +100,104 @@ def test_load_numpy_validates_shape():
     _, u, _ = make_fields()
     with pytest.raises(ValueError, match="expects shape"):
         u.load_numpy(np.zeros((1, 2, 2, 2)))
+
+
+# -- integrity: checksums, schema header, tiered store -----------------------
+def test_header_carries_schema_layout_and_checksums():
+    from repro.resilience import CHECKPOINT_SCHEMA
+
+    _, u, v = make_fields()
+    u.fill(1.0)
+    v.fill(2.0)
+    ckpt = Checkpoint.capture([u, v], {"beta": 0.5}, step=3)
+    h = ckpt.header()
+    assert h["schema"] == CHECKPOINT_SCHEMA == "repro-checkpoint/2"
+    assert h["step"] == 3
+    assert [f["name"] for f in h["fields"]] == ["u", "v"]
+    for f in h["fields"]:
+        assert f["crc32"] == ckpt.checksums[f["name"]]
+        assert f["dtype"] == "float64" and f["nbytes"] == 6 * 5 * 4 * 8
+    assert h["scalars"] == ["beta"]
+
+
+def test_tampered_checkpoint_raises_without_touching_live_fields():
+    from repro.resilience import CheckpointCorrupt
+
+    _, u, v = make_fields()
+    u.fill(1.0)
+    v.fill(2.0)
+    ckpt = Checkpoint.capture([u, v], step=1)
+    assert ckpt.verify() == []
+    u.fill(9.0)
+    v.fill(9.0)
+    ckpt.arrays[1][1].reshape(-1).view(np.uint8)[5] ^= 0xFF  # one flipped bit in v
+    assert ckpt.verify() == ["v"]
+    with pytest.raises(CheckpointCorrupt, match="generation 2"):
+        ckpt.restore([u, v], generation=2)
+    exc = pytest.raises(CheckpointCorrupt, ckpt.restore, [u, v]).value
+    assert exc.field_names == ["v"] and exc.step == 1 and exc.generation == 0
+    # the refused restore wrote nothing into the live fields
+    assert np.all(u.to_numpy() == 9.0) and np.all(v.to_numpy() == 9.0)
+
+
+def test_store_keeps_last_k_generations_newest_first():
+    from repro.resilience import CheckpointStore
+
+    _, u, _ = make_fields()
+    store = CheckpointStore(keep=3)
+    for step in range(5):
+        u.fill(float(step))
+        store.push(Checkpoint.capture([u], step=step))
+    assert len(store) == 3
+    assert [c.step for c in store.generations()] == [4, 3, 2]
+    assert store.latest.step == 4
+    with pytest.raises(ValueError, match="at least one"):
+        CheckpointStore(keep=0)
+
+
+def test_store_falls_back_past_tampered_newest_generation():
+    from repro.resilience import CheckpointStore
+
+    _, u, _ = make_fields()
+    store = CheckpointStore(keep=3)
+    for step in (0, 2):
+        u.fill(float(step))
+        store.push(Checkpoint.capture([u], {"step": step}, step=step))
+    store.latest.arrays[0][1].reshape(-1).view(np.uint8)[0] ^= 0xFF
+    ckpt, scalars, generation = store.restore_latest_valid([u])
+    assert (ckpt.step, generation) == (0, 1)
+    assert scalars == {"step": 0}
+    assert np.all(u.to_numpy() == 0.0)
+    assert store.fallbacks == 1 and store.corrupt_dropped == 1
+    assert store.max_restore_depth == 1
+    assert len(store) == 1  # the corrupt generation can never restore: dropped
+
+
+def test_store_raises_newest_error_when_every_generation_corrupt():
+    from repro.resilience import CheckpointCorrupt, CheckpointStore
+
+    _, u, _ = make_fields()
+    store = CheckpointStore(keep=2)
+    for step in (0, 2):
+        u.fill(float(step))
+        store.push(Checkpoint.capture([u], step=step))
+    for ckpt in store.generations():
+        ckpt.arrays[0][1].reshape(-1).view(np.uint8)[0] ^= 0xFF
+    with pytest.raises(CheckpointCorrupt) as ei:
+        store.restore_latest_valid([u])
+    assert ei.value.step == 2 and ei.value.generation == 0
+    with pytest.raises(ValueError, match="empty"):
+        store.restore_latest_valid([u])
+
+
+def test_store_describe_is_json_able():
+    import json
+
+    from repro.resilience import CheckpointStore
+
+    _, u, _ = make_fields()
+    store = CheckpointStore(keep=2)
+    store.push(Checkpoint.capture([u], step=4))
+    doc = store.describe()
+    assert json.loads(json.dumps(doc)) == doc
+    assert doc["generations"] == 1 and doc["steps"] == [4] and doc["keep"] == 2

@@ -1,0 +1,39 @@
+"""MachineSpec surgery: removing one rank while keeping survivor specs."""
+
+import pytest
+
+from repro.sim import mixed_pcie, pcie_a100
+
+
+def test_without_rank_shrinks_topology():
+    m = pcie_a100(4)
+    d = m.without_rank(2)
+    assert d.num_devices == 3
+    assert d.topology.num_devices == 3
+
+
+def test_without_rank_keeps_survivor_specs_reindexed():
+    m = mixed_pcie(4)  # odd ranks are the slow GV100-class cards
+    specs = [m.device_spec(r) for r in range(4)]
+    assert len(set(specs)) == 2  # genuinely heterogeneous
+
+    tail = m.without_rank(3)  # drop a slow card: indices unchanged
+    assert [tail.device_spec(r) for r in range(3)] == specs[:3]
+
+    head = m.without_rank(0)  # drop a fast card: survivors shift down
+    assert [head.device_spec(r) for r in range(3)] == specs[1:]
+
+    mid = m.without_rank(1)
+    assert [mid.device_spec(r) for r in range(3)] == [specs[0], specs[2], specs[3]]
+
+
+def test_without_rank_validates_rank_and_floor():
+    m = pcie_a100(2)
+    with pytest.raises(ValueError):
+        m.without_rank(5)
+    with pytest.raises(ValueError):
+        m.without_rank(-1)
+    single = m.without_rank(0)
+    assert single.num_devices == 1
+    with pytest.raises(ValueError, match="last device"):
+        single.without_rank(0)

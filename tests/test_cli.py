@@ -94,3 +94,31 @@ def test_tune_unknown_workload_rejected():
     proc = run_cli("tune", "fig99")
     assert proc.returncode == 2
     assert "unknown workload" in proc.stderr
+
+
+def test_chaos_soak_survives_and_writes_report(tmp_path):
+    out = tmp_path / "CHAOS_poisson.json"
+    flight_out = tmp_path / "FLIGHT_chaos.json"
+    proc = run_cli(
+        "chaos", "poisson", "--events", "25", "-o", str(out), "--flight-out", str(flight_out)
+    )
+    assert proc.returncode == 0, proc.stderr + proc.stdout
+    assert "SURVIVED" in proc.stdout
+    assert "bitwise identical" in proc.stdout
+
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro-chaos/1"
+    assert doc["ok"] is True
+    assert doc["events"]["total"] >= 25
+    assert doc["events"]["device_losses"] >= 2
+    assert doc["events"]["checkpoint_tampers"] >= 1
+    flight_doc = json.loads(flight_out.read_text())
+    assert flight_doc["schema"] == "repro-flight/1"
+
+
+def test_chaos_unknown_workload_rejected():
+    proc = run_cli("chaos", "nope")
+    assert proc.returncode == 2
+    assert "no chaos workload" in proc.stderr

@@ -86,3 +86,18 @@ def test_restricted_search_space_still_anchors_baseline():
     assert plan.baseline.occ == Occ.STANDARD.value
     assert plan.baseline.mode == "serial"
     assert all(c.occ == Occ.NONE.value for c in plan.candidates)
+
+
+def test_uniform_best_and_tuned_delta(mixed_plan):
+    ub = mixed_plan.uniform_best
+    assert ub is not None and ub.weights is None
+    uniforms = [c for c in mixed_plan.candidates if c.weights is None]
+    assert all(c.makespan >= ub.makespan for c in uniforms)
+    assert mixed_plan.tuned_vs_uniform == pytest.approx(
+        1.0 - mixed_plan.best.makespan / ub.makespan
+    )
+    # the heterogeneous box: tuned shares beat even the best uniform config
+    assert mixed_plan.tuned_vs_uniform > 0.0
+    assert mixed_plan.to_dict()["tuned_vs_uniform"] == pytest.approx(
+        mixed_plan.tuned_vs_uniform
+    )
