@@ -13,9 +13,13 @@
         # recovery armed, verify the result against a fault-free run, and
         # export the recovery trace; exits non-zero on mismatch
     python -m repro bench lbm --json --devices 4
-        # run a miniature in serial and parallel execution modes, print a
+        # run a miniature in serial and parallel execution modes (each
+        # with fused dispatch plus an unfused comparison leg), print a
         # comparison, and (with --json) write BENCH_lbm.json; --tripwire R
-        # exits non-zero if parallel wall-clock exceeds R x serial
+        # exits non-zero if parallel wall-clock exceeds R x serial;
+        # --no-fuse skips the fused legs entirely; --fuse-gate S exits
+        # non-zero unless fused serial dispatch is at least S x faster
+        # than unfused
     python -m repro sanitize lbm --devices 4 --occ standard
         # replay a miniature under the graph race sanitizer (vector-clock
         # happens-before checking of the compiled schedule) and report
@@ -104,19 +108,27 @@ def cmd_collect() -> int:
     return 0
 
 
-def cmd_trace(name: str, out: str, devices: int) -> int:
+def cmd_trace(name: str, out: str, devices: int, fuse: bool = True) -> int:
+    import contextlib
+
     from repro import observability as obs
     from repro.bench.traceable import build_workload
+    from repro.skeleton import fusion
 
     if devices < 1:
         print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
         return 2
     try:
-        obs.enable()
-        workload = build_workload(name, devices=devices)
-        workload.run()
-        sim = workload.sim_trace()
-        obs.disable()
+        # --no-fuse: freeze the plans without the fusion pass so the
+        # trace shows raw per-step dispatch (fused runs still emit every
+        # constituent span — observability routes units through the
+        # per-step path — but their envelopes change the span nesting)
+        with fusion.disabled() if not fuse else contextlib.nullcontext():
+            obs.enable()
+            workload = build_workload(name, devices=devices)
+            workload.run()
+            sim = workload.sim_trace()
+            obs.disable()
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -178,14 +190,26 @@ def cmd_faults(name: str, profile: str, out: str, devices: int, seed: int) -> in
     return 0 if report.ok else 1
 
 
-def cmd_bench(name: str, emit_json: bool, devices: int, iters: int | None, out_dir: str, tripwire: float | None) -> int:
+def cmd_bench(
+    name: str,
+    emit_json: bool,
+    devices: int,
+    iters: int | None,
+    out_dir: str,
+    tripwire: float | None,
+    fuse: bool = True,
+    fuse_gate: float | None = None,
+) -> int:
     from repro.bench.parallel import run_bench, summarize, write_report
 
     if devices < 1:
         print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
         return 2
+    if fuse_gate is not None and not fuse:
+        print("--fuse-gate needs the fused legs; drop --no-fuse", file=sys.stderr)
+        return 2
     try:
-        report = run_bench(name, devices=devices, iters=iters)
+        report = run_bench(name, devices=devices, iters=iters, fuse=fuse)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -202,6 +226,19 @@ def cmd_bench(name: str, emit_json: bool, devices: int, iters: int | None, out_d
             )
             return 1
         print(f"tripwire ok: parallel is {ratio:.2f}x serial (limit {tripwire:.2f}x)")
+    if fuse_gate is not None:
+        speedup = report.get("fusion", {}).get("speedup", {}).get("serial")
+        if speedup is None:
+            print("FUSE-GATE: no serial fusion speedup in the report", file=sys.stderr)
+            return 1
+        if speedup < fuse_gate:
+            print(
+                f"FUSE-GATE: fused serial dispatch is only {speedup:.2f}x unfused "
+                f"(required {fuse_gate:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"fuse-gate ok: fused serial is {speedup:.2f}x unfused (required {fuse_gate:.2f}x)")
     return 0
 
 
@@ -212,12 +249,14 @@ def cmd_sanitize(
     mode: str,
     mutate: bool,
     out: str | None,
+    fuse: bool = True,
 ) -> int:
+    import contextlib
     import json
 
     from repro import observability as obs
     from repro.sanitizer import mutation_matrix, sanitize_workload
-    from repro.skeleton import Occ
+    from repro.skeleton import Occ, fusion
 
     if devices < 1:
         print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
@@ -232,8 +271,12 @@ def cmd_sanitize(
     modes = ("serial", "parallel") if mode == "both" else (mode,)
     reports = []
     try:
-        for m in modes:
-            reports.append(sanitize_workload(name, devices=devices, occ=occ, mode=m))
+        # --no-fuse sanitizes the raw per-step plans; either way the
+        # sanitizer sees per-constituent commands (fused replay routes
+        # units through the per-step path whenever SAN is active)
+        with fusion.disabled() if not fuse else contextlib.nullcontext():
+            for m in modes:
+                reports.append(sanitize_workload(name, devices=devices, occ=occ, mode=m))
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -255,7 +298,8 @@ def cmd_sanitize(
 
     doc: dict = {"runs": [rep.to_json() for rep in reports]}
     if mutate:
-        matrix = mutation_matrix(workloads=(name,), devices=(devices,), occs=(occ,))
+        with fusion.disabled() if not fuse else contextlib.nullcontext():
+            matrix = mutation_matrix(workloads=(name,), devices=(devices,), occs=(occ,))
         doc["mutation"] = matrix.to_json()
         print(f"mutation matrix: {matrix.killed}/{matrix.total} mutants killed ({matrix.kinds})")
         for row in matrix.escaped:
@@ -457,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
     tr.add_argument("name", help="experiment key (e.g. fig1); see 'list'")
     tr.add_argument("-o", "--output", default="trace.json", help="Chrome trace JSON output path")
     tr.add_argument("--devices", type=int, default=2, help="simulated device count (default 2)")
+    tr.add_argument("--no-fuse", action="store_true", help="trace raw per-step dispatch (no fusion pass)")
     fl = sub.add_parser("faults", help="run a fault-matrix miniature with recovery armed")
     fl.add_argument("name", help="fault-matrix workload: cg or lbm")
     fl.add_argument(
@@ -480,6 +525,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fail (exit 1) if parallel wall-clock exceeds this multiple of serial",
     )
+    bn.add_argument("--no-fuse", action="store_true", help="benchmark only unfused per-step dispatch")
+    bn.add_argument(
+        "--fuse-gate",
+        type=float,
+        default=None,
+        help="fail (exit 1) unless fused serial dispatch beats unfused by this factor",
+    )
     sn = sub.add_parser("sanitize", help="race-sanitize a miniature's compiled schedule")
     sn.add_argument("name", help="workload: lbm, poisson, karman or elasticity")
     sn.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
@@ -491,6 +543,7 @@ def main(argv: list[str] | None = None) -> int:
         help="replay mode(s) to sanitize (default both)",
     )
     sn.add_argument("--mutate", action="store_true", help="also grade the detector against schedule mutants")
+    sn.add_argument("--no-fuse", action="store_true", help="sanitize the raw per-step plans (no fusion pass)")
     sn.add_argument("-o", "--output", default=None, help="write the violation/mutation report as JSON")
     tn = sub.add_parser("tune", help="autotune one workload on one machine model")
     tn.add_argument("name", help="workload: lbm, karman, poisson or elasticity")
@@ -557,13 +610,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "collect":
         return cmd_collect()
     if args.command == "trace":
-        return cmd_trace(args.name, args.output, args.devices)
+        return cmd_trace(args.name, args.output, args.devices, fuse=not args.no_fuse)
     if args.command == "faults":
         return cmd_faults(args.name, args.profile, args.output, args.devices, args.seed)
     if args.command == "bench":
-        return cmd_bench(args.name, args.json, args.devices, args.iters, args.out_dir, args.tripwire)
+        return cmd_bench(
+            args.name,
+            args.json,
+            args.devices,
+            args.iters,
+            args.out_dir,
+            args.tripwire,
+            fuse=not args.no_fuse,
+            fuse_gate=args.fuse_gate,
+        )
     if args.command == "sanitize":
-        return cmd_sanitize(args.name, args.devices, args.occ, args.mode, args.mutate, args.output)
+        return cmd_sanitize(
+            args.name,
+            args.devices,
+            args.occ,
+            args.mode,
+            args.mutate,
+            args.output,
+            fuse=not args.no_fuse,
+        )
     if args.command == "tune":
         return cmd_tune(args.name, args.machine, args.devices, args.output)
     if args.command == "report":

@@ -2,7 +2,7 @@
 
 Besides the text-table helpers the benchmarks print, this module owns
 the machine-readable result format: :func:`write_bench_json` emits a
-``BENCH_<exp>.json`` document (schema ``repro-bench/2``) recording the
+``BENCH_<exp>.json`` document (schema ``repro-bench/3``) recording the
 experiment id, its parameters, the runtime environment (python / numpy
 versions, usable CPU core count — essential context for wall-clock
 numbers), and one entry per measured configuration with wall-clock
@@ -10,7 +10,10 @@ seconds, simulated makespan, and MLUPS.  Schema ``/2`` adds two
 optional top-level annotations — ``percentiles`` (per-site latency
 distributions from an instrumented pass) and ``critical_path`` (the
 modeled makespan's exact attribution) — that ``/1`` readers can
-ignore; :func:`read_bench_json` accepts both versions.  CI uploads
+ignore.  Schema ``/3`` adds a ``fusion`` annotation (static
+``fusion_ratio`` / ``fused_steps`` / per-mode ``fusion_speedup`` from a
+fused-vs-unfused sweep) and a per-result ``fused`` flag;
+:func:`read_bench_json` accepts all three versions.  CI uploads
 these artifacts so the perf trajectory of the repo is diffable across
 commits, and ``python -m repro report --compare old.json new.json``
 (see :mod:`repro.bench.regress`) turns a pair of them into a
@@ -28,10 +31,10 @@ import sys
 import time
 from collections.abc import Callable, Iterable
 
-BENCH_SCHEMA = "repro-bench/2"
+BENCH_SCHEMA = "repro-bench/3"
 
-#: schema versions read_bench_json accepts (all are forward subsets of /2)
-KNOWN_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+#: schema versions read_bench_json accepts (all are forward subsets of /3)
+KNOWN_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
 
 
 def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -109,6 +112,7 @@ def write_bench_json(
     results: list[dict],
     percentiles: dict | None = None,
     critical_path: dict | None = None,
+    fusion: dict | None = None,
 ) -> pathlib.Path:
     """Write one ``BENCH_<exp>.json`` document and return its path.
 
@@ -119,8 +123,11 @@ def write_bench_json(
     ``{labels, count, mean, p50, p90, p99}`` series (from an
     instrumented pass), ``critical_path`` is the modeled makespan's
     attribution (:meth:`repro.observability.CriticalPath.to_json`-shaped).
-    Both are omitted from the document when None, so minimal documents
-    stay /1-shaped apart from the version string.
+    The schema-/3 ``fusion`` annotation summarises the fused-vs-unfused
+    sweep: static ``fusion_ratio`` / ``fused_steps`` / ``dispatch_units``
+    plus a per-mode ``speedup`` map (unfused wall / fused wall).  All
+    are omitted from the document when None, so minimal documents stay
+    /1-shaped apart from the version string.
     """
     doc = {
         "schema": BENCH_SCHEMA,
@@ -133,19 +140,23 @@ def write_bench_json(
         doc["percentiles"] = percentiles
     if critical_path is not None:
         doc["critical_path"] = critical_path
+    if fusion is not None:
+        doc["fusion"] = fusion
     out = pathlib.Path(path)
     out.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
     return out
 
 
 def read_bench_json(path) -> dict:
-    """Load a ``BENCH_*.json`` document, accepting schema ``/1`` or ``/2``.
+    """Load a ``BENCH_*.json`` document, accepting schema ``/1``–``/3``.
 
-    ``/1`` documents are upgraded in memory to the ``/2`` shape (empty
-    ``percentiles`` / ``critical_path`` annotations) so downstream code
-    — the regression checker in particular — handles one shape only.
-    An unrecognised schema raises ``ValueError`` rather than silently
-    comparing apples to oranges.
+    Older documents are upgraded in memory to the ``/3`` shape (empty
+    ``percentiles`` / ``critical_path`` / ``fusion`` annotations; every
+    result without a ``fused`` flag is marked ``fused: False`` — pre-/3
+    runs dispatched step by step) so downstream code — the regression
+    checker in particular — handles one shape only.  An unrecognised
+    schema raises ``ValueError`` rather than silently comparing apples
+    to oranges.
     """
     doc = json.loads(pathlib.Path(path).read_text())
     schema = doc.get("schema")
@@ -153,5 +164,8 @@ def read_bench_json(path) -> dict:
         raise ValueError(f"{path}: unknown bench schema {schema!r}; expected one of {KNOWN_SCHEMAS}")
     doc.setdefault("percentiles", {})
     doc.setdefault("critical_path", {})
+    doc.setdefault("fusion", {})
     doc.setdefault("results", [])
+    for entry in doc["results"]:
+        entry.setdefault("fused", False)
     return doc

@@ -17,7 +17,10 @@ than asserting a speedup it cannot deliver there.
 
 from __future__ import annotations
 
+import contextlib
 import time
+
+from repro.skeleton import fusion
 
 from .harness import usable_cpu_count, write_bench_json
 from .metrics import mlups
@@ -35,59 +38,94 @@ def _best_wall(run_once, repeats: int = REPEATS) -> float:
     return best
 
 
-def _bench_lbm(devices: int, iters: int, shape, mode: str) -> dict:
+def _fuse_ctx(fuse: bool):
+    return contextlib.nullcontext() if fuse else fusion.disabled()
+
+
+def _label(exp: str, mode: str, fuse: bool) -> str:
+    return f"{exp}-{mode}" if fuse else f"{exp}-{mode}-unfused"
+
+
+def _fusion_stats(skeletons) -> dict:
+    """Aggregate static fusion stats over the skeletons' frozen programs."""
+    steps = units = fused = 0
+    for sk in skeletons:
+        program = sk.plan._ensure_program()
+        steps += len(program.steps)
+        units += program.stats.dispatch_units or len(program.steps)
+        fused += program.stats.fused_steps
+    return {
+        "compiled_steps": steps,
+        "dispatch_units": units,
+        "fused_steps": fused,
+        "fusion_ratio": (steps / units) if units else 1.0,
+    }
+
+
+def _bench_lbm(devices: int, iters: int, shape, mode: str, fuse: bool = True) -> dict:
     from repro.solvers.lbm import LidDrivenCavity
     from repro.system import Backend
 
-    cavity = LidDrivenCavity(Backend.sim_gpus(devices), shape)
-    cavity.step(2, mode=mode)  # warm-up: compile + freeze both parity programs
-    wall = _best_wall(lambda: cavity.step(iters, mode=mode))
-    return {
-        "label": f"lbm-{mode}",
+    with _fuse_ctx(fuse):
+        cavity = LidDrivenCavity(Backend.sim_gpus(devices), shape)
+        cavity.step(2, mode=mode)  # warm-up: compile + freeze both parity programs
+        wall = _best_wall(lambda: cavity.step(iters, mode=mode))
+    entry = {
+        "label": _label("lbm", mode, fuse),
         "mode": mode,
+        "fused": fuse,
         "wall_clock_s": wall,
         "sim_makespan_s": cavity.iteration_makespan() * iters,
         "mlups": mlups(cavity.grid.num_active, iters, wall),
     }
+    if fuse:
+        entry.update(_fusion_stats(cavity.skeletons))
+    return entry
 
 
-def _bench_poisson(devices: int, iters: int, shape, mode: str) -> dict:
+def _bench_poisson(devices: int, iters: int, shape, mode: str, fuse: bool = True) -> dict:
     import numpy as np
 
     from repro.solvers.poisson import PoissonSolver
     from repro.system import Backend
 
-    solver = PoissonSolver(Backend.sim_gpus(devices), shape)
-    # constant rhs (the fig8 idiom): it excites many Laplacian eigenmodes,
-    # so CG sustains full iterations instead of converging in two Krylov
-    # steps the way the eigen-sparse manufactured problem does
-    solver.set_rhs(lambda z, y, x: np.ones(z.shape, dtype=np.float64))
-    solver.cg.mode = mode
-    solver.cg.begin(tolerance=1e-12)  # compiles + freezes the init program
-    solver.cg.iterate()  # warm-up: freezes the two iteration programs
+    with _fuse_ctx(fuse):
+        solver = PoissonSolver(Backend.sim_gpus(devices), shape)
+        # constant rhs (the fig8 idiom): it excites many Laplacian
+        # eigenmodes, so CG sustains full iterations instead of converging
+        # in two Krylov steps the way the eigen-sparse manufactured
+        # problem does
+        solver.set_rhs(lambda z, y, x: np.ones(z.shape, dtype=np.float64))
+        solver.cg.mode = mode
+        solver.cg.begin(tolerance=1e-12)  # compiles + freezes the init program
+        solver.cg.iterate()  # warm-up: freezes the two iteration programs
 
-    done = iters
+        done = iters
 
-    def run_once() -> None:
-        nonlocal done
-        # restart from the current iterate: each repeat times an
-        # identical n-iteration Krylov stretch (CG restarts soundly)
-        solver.cg.begin(tolerance=1e-12)
-        before = solver.cg.result.iterations
-        for _ in range(iters):
-            if solver.cg.iterate():
-                break
-        done = max(solver.cg.result.iterations - before, 1)
+        def run_once() -> None:
+            nonlocal done
+            # restart from the current iterate: each repeat times an
+            # identical n-iteration Krylov stretch (CG restarts soundly)
+            solver.cg.begin(tolerance=1e-12)
+            before = solver.cg.result.iterations
+            for _ in range(iters):
+                if solver.cg.iterate():
+                    break
+            done = max(solver.cg.result.iterations - before, 1)
 
-    wall = _best_wall(run_once)
-    return {
-        "label": f"poisson-{mode}",
+        wall = _best_wall(run_once)
+    entry = {
+        "label": _label("poisson", mode, fuse),
         "mode": mode,
+        "fused": fuse,
         "wall_clock_s": wall,
         "sim_makespan_s": solver.iteration_makespan() * done,
         "mlups": mlups(solver.grid.num_active, done, wall),
         "iterations_run": done,
     }
+    if fuse:
+        entry.update(_fusion_stats([solver.cg.sk_a, solver.cg.sk_b]))
+    return entry
 
 
 BENCHES = {
@@ -101,28 +139,59 @@ def run_bench(
     devices: int = 4,
     iters: int | None = None,
     modes: tuple[str, ...] = MODES,
+    fuse: bool = True,
 ) -> dict:
     """Run one miniature in each requested mode; return the report dict.
 
     The report carries the per-mode measurements plus, when both modes
     ran, ``speedup_parallel`` (serial wall-clock / parallel wall-clock —
-    above 1.0 means parallel won).
+    above 1.0 means parallel won).  With ``fuse=True`` (the default)
+    every mode runs twice — fused dispatch and, for the comparison
+    column, a ``--no-fuse`` leg — and the report gains a ``fusion``
+    annotation: the static chain stats of the frozen programs plus the
+    measured per-mode ``speedup`` (unfused wall / fused wall).
+    ``speedup_parallel`` is computed from the fused legs, which are the
+    default dispatch path.  With ``fuse=False`` only unfused legs run.
     """
     if exp not in BENCHES:
         supported = ", ".join(sorted(BENCHES))
         raise KeyError(f"no parallel-mode bench for '{exp}'; supported: {supported}")
     fn, shape, default_iters, description = BENCHES[exp]
     iters = default_iters if iters is None else iters
-    results = [fn(devices, iters, shape, mode) for mode in modes]
+    results = []
+    for mode in modes:
+        if fuse:
+            results.append(fn(devices, iters, shape, mode, fuse=True))
+        results.append(fn(devices, iters, shape, mode, fuse=False))
     report = {
         "exp": exp,
         "description": description,
-        "params": {"devices": devices, "iters": iters, "shape": list(shape), "modes": list(modes)},
+        "params": {
+            "devices": devices,
+            "iters": iters,
+            "shape": list(shape),
+            "modes": list(modes),
+            "fuse": fuse,
+        },
         "results": results,
     }
-    walls = {r["mode"]: r["wall_clock_s"] for r in results}
-    if "serial" in walls and "parallel" in walls and walls["parallel"] > 0:
-        report["speedup_parallel"] = walls["serial"] / walls["parallel"]
+    primary = {r["mode"]: r["wall_clock_s"] for r in results if r["fused"] == fuse}
+    if "serial" in primary and "parallel" in primary and primary["parallel"] > 0:
+        report["speedup_parallel"] = primary["serial"] / primary["parallel"]
+    if fuse:
+        fused_walls = {r["mode"]: r["wall_clock_s"] for r in results if r["fused"]}
+        unfused_walls = {r["mode"]: r["wall_clock_s"] for r in results if not r["fused"]}
+        stats = next((r for r in results if r["fused"] and "fusion_ratio" in r), {})
+        report["fusion"] = {
+            "fusion_ratio": stats.get("fusion_ratio", 1.0),
+            "fused_steps": stats.get("fused_steps", 0),
+            "dispatch_units": stats.get("dispatch_units", 0),
+            "speedup": {
+                mode: unfused_walls[mode] / fused_walls[mode]
+                for mode in fused_walls
+                if mode in unfused_walls and fused_walls[mode] > 0
+            },
+        }
     report["tuner"] = _tuner_annotation(exp, devices)
     percentiles, critical_path = _observability_annotation(exp, devices)
     report["percentiles"] = percentiles
@@ -203,6 +272,7 @@ def write_report(report: dict, out_dir=".") -> str:
             report["results"],
             percentiles=report.get("percentiles"),
             critical_path=report.get("critical_path"),
+            fusion=report.get("fusion"),
         )
     )
 
@@ -211,12 +281,21 @@ def summarize(report: dict) -> str:
     """Human-readable one-screen summary of a bench report."""
     lines = [f"{report['exp']}: {report['description']}", f"  usable cores: {usable_cpu_count()}"]
     for r in report["results"]:
+        tag = r["mode"] + ("" if r.get("fused", False) else " (no-fuse)")
         lines.append(
-            f"  {r['mode']:<8} wall {r['wall_clock_s']:8.3f} s   "
+            f"  {tag:<18} wall {r['wall_clock_s']:8.3f} s   "
             f"sim {r['sim_makespan_s']:.3e} s   {r['mlups']:7.2f} MLUPS"
         )
     if "speedup_parallel" in report:
         lines.append(f"  parallel speedup over serial: {report['speedup_parallel']:.2f}x")
+    if "fusion" in report:
+        f = report["fusion"]
+        per_mode = "  ".join(f"{m}={s:.2f}x" for m, s in sorted(f["speedup"].items()))
+        lines.append(
+            f"  fusion: {f['fusion_ratio']:.2f} steps/unit "
+            f"({f['fused_steps']} steps in multi-step units, {f['dispatch_units']} units) — "
+            f"speedup over unfused: {per_mode}"
+        )
     if "tuner" in report:
         t = report["tuner"]
         lines.append(

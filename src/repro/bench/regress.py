@@ -1,12 +1,17 @@
 """Bench regression checking: did this change make the numbers worse?
 
 Compares two ``BENCH_<exp>.json`` documents (any mix of schema
-``repro-bench/1`` and ``/2``; see :func:`repro.bench.harness.read_bench_json`)
-result-by-result, joined on each entry's ``label``.  A finding is
-flagged when a metric moved past ``threshold`` in the *bad* direction —
-wall-clock or simulated makespan up, MLUPS down — plus, for ``/2``
-documents, tail-latency regressions in the ``percentiles`` annotation
-(p99 up).  Improvements are reported as notes, never as failures.
+``repro-bench/1`` through ``/3``; see
+:func:`repro.bench.harness.read_bench_json`) result-by-result, joined
+on each entry's ``label``.  A finding is flagged when a metric moved
+past ``threshold`` in the *bad* direction — wall-clock or simulated
+makespan up, MLUPS down — plus, for ``/2`` documents, tail-latency
+regressions in the ``percentiles`` annotation (p99 up), and for ``/3``
+documents, fusion regressions in the ``fusion`` annotation (static
+``fusion_ratio`` down — chains broke — or a per-mode measured
+``fusion_speedup`` down).  Pre-/3 documents simply lack the fusion
+labels, so the label join skips them.  Improvements are reported as
+notes, never as failures.
 
 The checker is deliberately a *soft* gate by default: miniature wall
 clocks on shared CI hosts are noisy, so CI runs it warn-only
@@ -24,6 +29,7 @@ _RESULT_METRICS = {
     "wall_clock_s": "up",
     "sim_makespan_s": "up",
     "mlups": "down",
+    "fusion_ratio": "down",
 }
 
 #: sim-derived metrics don't jitter: regressions there are real at any size
@@ -107,6 +113,24 @@ def compare_docs(old: dict, new: dict, threshold: float = 0.25) -> list[Finding]
                     regression=_is_bad(delta, "up", threshold),
                 )
             )
+
+    # /3 annotation: measured fused-vs-unfused speedup per mode
+    old_speedup = old.get("fusion", {}).get("speedup", {})
+    for mode, nv in new.get("fusion", {}).get("speedup", {}).items():
+        if mode not in old_speedup:
+            continue
+        ov, nv = float(old_speedup[mode]), float(nv)
+        delta = _rel(ov, nv)
+        findings.append(
+            Finding(
+                label=f"fusion:{mode}",
+                metric="fusion_speedup",
+                old=ov,
+                new=nv,
+                delta=delta,
+                regression=_is_bad(delta, "down", threshold),
+            )
+        )
     return findings
 
 

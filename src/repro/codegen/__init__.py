@@ -1,0 +1,16 @@
+"""Ahead-of-time C codegen for fused/specialized replay kernels.
+
+The fusion pass (:mod:`repro.skeleton.fusion`) batches *dispatch*; this
+package removes the per-element interpretation cost underneath it by
+compiling generated C translation units with the system C compiler and
+binding them through :mod:`ctypes` — both already present on any host
+that can build NumPy, so no new dependency is introduced.  Everything
+degrades gracefully: when no compiler is found (or compilation fails)
+the callers fall back to the interpreted NumPy path and results are
+identical either way, because generated kernels replicate the exact
+IEEE-754 operation sequence of the NumPy code they replace.
+"""
+
+from .cc import available, compile_shared, compiler, hexf
+
+__all__ = ["available", "compile_shared", "compiler", "hexf"]

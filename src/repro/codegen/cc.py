@@ -1,0 +1,104 @@
+"""Compile generated C sources with the system compiler, bind via ctypes.
+
+Design constraints, in order:
+
+* **Bitwise fidelity** — compiled kernels must reproduce the interpreted
+  NumPy results exactly.  ``-ffp-contract=off`` forbids FMA contraction
+  (an FMA keeps the intermediate product unrounded, changing the low
+  bits), and no fast-math flag is ever passed, so the compiler must
+  preserve the written IEEE-754 operation order.  Generators embed float
+  constants through :func:`hexf` (C hexadecimal float literals), which
+  round-trips every double exactly.
+* **Zero new dependencies** — ``cc`` (or ``gcc``/``clang``) plus the
+  standard-library ``ctypes``; when neither compiler exists,
+  :func:`compile_shared` returns ``None`` and callers keep the
+  interpreted path.
+* **Compile once** — one shared object per cache key, built in a
+  private temp dir and kept loaded for the life of the process (the
+  CDLL handle is held in the cache so the mapping never goes away under
+  a live function pointer).
+
+Set ``REPRO_DISABLE_CC=1`` to force the interpreted fallback (used by
+tests to pin the fallback path, and as an operator escape hatch).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+#: flags shared by every generated translation unit; -ffp-contract=off is
+#: load-bearing for bitwise identity (see module docstring)
+CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+
+_lock = threading.Lock()
+_compiler: str | None = None
+_compiler_checked = False
+_cache: dict[tuple, object] = {}  # key -> (ctypes fn, CDLL, build dir) | None
+
+
+def hexf(x: float) -> str:
+    """A C literal that reconstructs ``x`` bit-for-bit (hex float)."""
+    return float(x).hex()
+
+
+def compiler() -> str | None:
+    """Path of the first usable C compiler, or None (cached)."""
+    global _compiler, _compiler_checked
+    if not _compiler_checked:
+        with _lock:
+            if not _compiler_checked:
+                for cand in ("cc", "gcc", "clang"):
+                    found = shutil.which(cand)
+                    if found:
+                        _compiler = found
+                        break
+                _compiler_checked = True
+    return _compiler
+
+
+def available() -> bool:
+    """True when compiled kernels can be built in this process."""
+    if os.environ.get("REPRO_DISABLE_CC"):
+        return False
+    return compiler() is not None
+
+
+def compile_shared(key: tuple, source: str, symbol: str, argtypes: list, restype=None):
+    """Build ``source``, load it, and return the bound ``symbol``.
+
+    ``key`` identifies the translation unit for the process-wide cache
+    (callers key on everything baked into the source).  Returns ``None``
+    on any failure — missing compiler, compile error, load error — and
+    caches the failure so the cost is paid once.
+    """
+    if not available():
+        return None
+    with _lock:
+        if key in _cache:
+            entry = _cache[key]
+            return entry[0] if entry else None
+        try:
+            build = Path(tempfile.mkdtemp(prefix="repro-cc-"))
+            c_path = build / "kernel.c"
+            so_path = build / "kernel.so"
+            c_path.write_text(source)
+            subprocess.run(
+                [compiler(), *CFLAGS, str(c_path), "-o", str(so_path)],
+                check=True,
+                capture_output=True,
+            )
+            lib = ctypes.CDLL(str(so_path))
+            fn = getattr(lib, symbol)
+            fn.argtypes = argtypes
+            fn.restype = restype
+        except (OSError, subprocess.CalledProcessError, AttributeError):
+            _cache[key] = None
+            return None
+        _cache[key] = (fn, lib, build)
+        return fn

@@ -296,3 +296,45 @@ class DenseField(Field):
 
                 msgs.append(HaloMsg(name, src, dst, slab_bytes, fn))
         return msgs
+
+    def batched_halo_fn(self, msgs):
+        """One staged copy standing in for a whole per-component message family.
+
+        The fusion pass hands this the contiguous run of per-component
+        SoA halo messages it coalesced (one ``(src, dst)`` pair, every
+        component exactly once, any order); the returned closure moves
+        the multi-component slab ``storage[:, slices]`` through staging
+        in a single :func:`staged_copy` — same bytes to the same ghost
+        slots as the per-component copies, one dispatch instead of
+        ``cardinality``.  Returns ``None`` whenever the messages are not
+        exactly such a family, so callers can always fall back to
+        running the constituent copies one by one.
+        """
+        if self.virtual or self.layout is not Layout.SOA or self.cardinality <= 1:
+            return None
+        if len(msgs) != self.cardinality:
+            return None
+        src, dst = msgs[0].src_rank, msgs[0].dst_rank
+        expected = {f"halo:{self.name}.{c}:{src}->{dst}" for c in range(self.cardinality)}
+        if {m.name for m in msgs} != expected:
+            return None
+        if any(m.src_rank != src or m.dst_rank != dst for m in msgs):
+            return None
+        h = self.grid.radius
+        n_src = self.grid.local_slices(src)
+        n_dst = self.grid.local_slices(dst)
+        if dst == src + 1:
+            src_sl = slice(n_src, n_src + h)
+            dst_sl = slice(0, h)
+        else:
+            src_sl = slice(h, 2 * h)
+            dst_sl = slice(n_dst + h, n_dst + 2 * h)
+        s_slab = self.partition(src).storage[:, src_sl]
+        d_slab = self.partition(dst).storage[:, dst_sl]
+        pool = self.grid.backend.staging
+        src_dev = self.grid.backend.device(src)
+
+        def fn(s=s_slab, d=d_slab, pool=pool, dev=src_dev):
+            staged_copy(pool, dev, d, s)
+
+        return fn

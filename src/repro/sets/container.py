@@ -47,6 +47,15 @@ class Container:
         self.flops_per_cell = flops_per_cell
         self.stencil_read_redundancy = stencil_read_redundancy
         self._tokens: list[AccessToken] | None = None
+        #: optional fused-replay specialization hook, set by solver code
+        #: that can prove pre-binding is safe: ``(rank, view, span) ->
+        #: callable | None``.  The fusion pass calls it at program-freeze
+        #: time; a returned closure replaces the interpreted per-launch
+        #: kernel in *fused fast-path dispatch only* and MUST be bitwise
+        #: equivalent to it.  Containers whose loading lambda reads
+        #: mutable scalar cells at load time (e.g. CG's alpha/beta) must
+        #: leave this None — pre-binding would freeze iteration-0 scalars.
+        self.specialize = None
 
     def tokens(self) -> list[AccessToken]:
         """Data-use declaration, extracted by a parse-only loading pass."""

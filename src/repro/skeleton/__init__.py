@@ -10,6 +10,7 @@ from .depgraph import (
     containers_to_nodes,
 )
 from .executor import DependencyViolation, check_trace_dependencies, simulate_result
+from .fusion import FUSION, FusedStep, fuse_program
 from .mgraph import build_multi_gpu_graph, expand_with_halo_nodes
 from .occ import Occ, OccReport, apply_occ
 from .scheduler import CompiledProgram, ExecutionResult, Plan, ScheduleStats
@@ -18,11 +19,13 @@ from .unroll import steady_state_iteration_time, unroll, unrolled_skeleton
 from .viz import graph_to_dot
 
 __all__ = [
+    "FUSION",
     "CompiledProgram",
     "DepGraph",
     "DepKind",
     "DependencyViolation",
     "ExecutionResult",
+    "FusedStep",
     "GraphNode",
     "NodeKind",
     "Occ",
@@ -38,6 +41,7 @@ __all__ = [
     "check_trace_dependencies",
     "containers_to_nodes",
     "expand_with_halo_nodes",
+    "fuse_program",
     "graph_to_dot",
     "simulate_result",
     "steady_state_iteration_time",

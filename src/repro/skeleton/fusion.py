@@ -1,0 +1,303 @@
+"""Fusion: batch the frozen step list into coalesced dispatch units.
+
+``BENCH_lbm.json`` put the problem on the table: a 4-device LBM
+miniature spends ~50x more wall-clock in per-step Python dispatch than
+its simulated makespan — every compiled step pays a flight-ring record,
+a span probe, a resilience check and a sanitizer check even when all of
+those layers are dormant.  This pass runs once at ``CompiledProgram``
+freeze time and collapses the step list into *dispatch units*: maximal
+chains of same-queue, same-kind steps whose recorded wiring proves the
+batch is reordering-free, each executing one precomposed closure.
+
+**It is a pure plan-to-plan transform.**  The recorded queues, commands,
+events and per-step metadata are untouched — the DES timing model, the
+sanitizer's :class:`~repro.sanitizer.program.ProgramView`, the tuner's
+cost extraction and the mutation matrix all keep reading the same
+objects (a fused unit's DES cost is the sum of its constituents by
+construction, because the constituents *are* the commands the simulator
+sees).  Only replay dispatch changes: serial replay walks
+``program.dispatch``; parallel replay executes a whole unit when the
+engine reaches its head command and skips the member commands at their
+original positions (event records stay in place, so completion signals
+still fire only after the batched work — which ran at or before the
+head position — is done).
+
+**Legality.**  A chain may grow from step ``t`` to the next same-queue,
+same-kind step ``s`` only when:
+
+1. *records-only interior* — between ``t`` and ``s`` on their queue sit
+   only :class:`RecordEventCommand`s.  A ``WaitEventCommand`` there is a
+   wired dependency entering the chain (the scheduler places consumer
+   waits immediately before the consuming command), and a foreign data
+   command is an ordering constraint we will not reorder across; either
+   breaks the chain.  Because every cross-queue dependency — including
+   same-device ones — is event-wired by the scheduler, "no interior
+   waits" already proves no step that executes between the unit's head
+   and tail positions depends on, or is depended on by, a member that
+   the batching moves.
+2. *disjoint interleavings* (belt and braces) — every data command of
+   any queue whose issue seq falls strictly inside the chain is checked
+   against the chain with the sanitizer's region-atom access model
+   (:func:`repro.sanitizer.access.step_accesses`); a shared atom with a
+   write on either side vetoes the extension.  This is redundant with
+   (1) for scheduler-produced programs and exists to catch hand-built
+   or future schedules that violate the wiring invariant.
+
+**Precomposition.**  The unit's fast-path closure hoists every
+loop-invariant lookup out of the per-step path: copy chains that form a
+complete SoA component family collapse into one multi-component staged
+copy (:meth:`DenseField.batched_halo_fn`), kernel steps whose container
+registered a ``specialize`` hook get an ahead-of-time compiled,
+pre-bound kernel (:mod:`repro.codegen`), and everything else runs its
+already-frozen command closures back to back.  The fast path is taken
+only when resilience, the sanitizer and observability are all inactive;
+any active cross-cutting layer routes the unit through the ordinary
+per-constituent ``Plan._run_step`` so fault sites, sanitizer records and
+per-kernel spans are exactly those of the unfused program.
+
+Fusion is **on by default**; ``--no-fuse`` CLI flags and the
+:func:`disabled` context manager (or ``Plan.fuse = False`` before first
+execute) opt out per run.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.sanitizer.access import step_accesses
+from repro.sanitizer.program import StepInfo
+from repro.system.queue import RecordEventCommand
+
+
+class _FusionConfig:
+    """Process-global default; consulted at program-freeze time."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+FUSION = _FusionConfig()
+_config_lock = threading.Lock()
+
+
+def set_enabled(on: bool) -> None:
+    """Set the process-wide fusion default for plans frozen after this."""
+    with _config_lock:
+        FUSION.enabled = bool(on)
+
+
+@contextmanager
+def disabled():
+    """Freeze plans without fusion inside the block (CLI --no-fuse)."""
+    with _config_lock:
+        prev, FUSION.enabled = FUSION.enabled, False
+    try:
+        yield
+    finally:
+        with _config_lock:
+            FUSION.enabled = prev
+
+
+@dataclass
+class FusedStep:
+    """One replay dispatch unit: a chain of steps behind one closure.
+
+    ``steps`` are the constituent ``_Step``s in issue order (length 1 is
+    common — a lone kernel still gains the hoisted fast path and any
+    specialized codegen).  ``fn`` is the precomposed fast-path closure;
+    the slow path (any cross-cutting layer active) ignores it and runs
+    the constituents through ``Plan._run_step`` unchanged.
+    """
+
+    steps: list
+    queue: object
+    pid: str
+    label: str
+    site: str
+    fn: Callable[[], None]
+    specialized: bool = False
+    kind: str = "fused"
+    sites: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            self.sites = tuple(s.site for s in self.steps)
+
+
+def _step_info(step) -> StepInfo:
+    return StepInfo(
+        kind=step.kind,
+        label=step.label,
+        container=step.container,
+        rank=step.rank,
+        view=step.view,
+        msg=step.msg,
+        halo_field=step.halo_field,
+    )
+
+
+def _accesses(step):
+    try:
+        return step_accesses(_step_info(step))
+    except Exception:  # noqa: BLE001 - unknown step shape: assume the worst
+        return None
+
+
+def _conflicts(chain_acc, other_acc) -> bool:
+    """Do two access sets share a region atom with a write on either side?"""
+    if chain_acc is None or other_acc is None:
+        return True  # could not prove the footprint: veto the fusion
+    writes = {a.region for a in chain_acc if a.write}
+    touched = {a.region for a in chain_acc}
+    for a in other_acc:
+        if a.region in writes or (a.write and a.region in touched):
+            return True
+    return False
+
+
+def _records_only_between(queue, pos_of, a_cmd, b_cmd) -> bool:
+    lo, hi = pos_of[a_cmd], pos_of[b_cmd]
+    return all(isinstance(c, RecordEventCommand) for c in queue.commands[lo + 1 : hi])
+
+
+def build_chains(program) -> list[list]:
+    """Group ``program.steps`` into maximal legal fusion chains.
+
+    One chain may stay *open* per queue while other queues' steps issue
+    in between (the interleaved steps are what the access-token check
+    guards against); a chain closes when its queue issues a step that
+    cannot legally extend it, or at end of program.  Chains are returned
+    in head-issue order, which is the serial dispatch order.
+    """
+    # per-queue command positions, for the records-only interior test
+    pos_of: dict = {}
+    for q in program.queues:
+        for i, cmd in enumerate(q.commands):
+            pos_of[cmd] = i
+    acc_cache: dict[int, list | None] = {}
+
+    def acc_of(step):
+        key = id(step)
+        if key not in acc_cache:
+            acc_cache[key] = _accesses(step)
+        return acc_cache[key]
+
+    chains: list[list] = []
+    # queue identity -> {steps, acc, pending-interleaved-steps}
+    open_chains: dict[int, dict] = {}
+
+    def close(qid: int) -> None:
+        state = open_chains.pop(qid, None)
+        if state is not None:
+            chains.append(state["steps"])
+
+    def note_interleaving(step, qid: int) -> None:
+        for other_qid, state in open_chains.items():
+            if other_qid != qid:
+                state["pending"].append(step)
+
+    # program.steps is already in enqueue == issue_seq order
+    for step in program.steps:
+        qid = id(step.queue)
+        state = open_chains.get(qid)
+        if state is not None:
+            tail = state["steps"][-1]
+            legal = step.kind == tail.kind and _records_only_between(
+                step.queue, pos_of, tail.command, step.command
+            )
+            if legal:
+                step_acc = acc_of(step)
+                if state["acc"] is None or step_acc is None:
+                    cand_acc = None
+                else:
+                    cand_acc = state["acc"] + step_acc
+                for other in state["pending"]:
+                    if _conflicts(cand_acc, acc_of(other)):
+                        legal = False
+                        break
+            if legal:
+                state["steps"].append(step)
+                state["acc"] = cand_acc
+                state["pending"] = []
+                note_interleaving(step, qid)
+                continue
+            close(qid)
+        open_chains[qid] = {"steps": [step], "acc": acc_of(step), "pending": []}
+        note_interleaving(step, qid)
+    for qid in list(open_chains):
+        close(qid)
+    chains.sort(key=lambda c: c[0].command.issue_seq)
+    return chains
+
+
+def _compose(steps) -> tuple[Callable[[], None], bool]:
+    """The fast-path closure for one chain; True when codegen-specialized."""
+    if all(s.kind == "copy" for s in steps) and len(steps) > 1:
+        fld = steps[0].halo_field
+        batched = getattr(fld, "batched_halo_fn", None)
+        if batched is not None and all(s.halo_field is fld for s in steps):
+            fn = batched([s.msg for s in steps])
+            if fn is not None:
+                return fn, False
+    fns: list[Callable[[], None]] = []
+    specialized = False
+    for s in steps:
+        fn = None
+        if s.kind == "kernel" and not s.virtual and s.container is not None:
+            hook = getattr(s.container, "specialize", None)
+            if hook is not None:
+                span = s.container.index_data.span_for(s.rank, s.view)
+                fn = hook(s.rank, s.view, span)
+                specialized = specialized or fn is not None
+        fns.append(fn if fn is not None else s.command.fn)
+    if len(fns) == 1:
+        return fns[0], specialized
+
+    def run_chain(fns=tuple(fns)):
+        for f in fns:
+            f()
+
+    return run_chain, specialized
+
+
+def fuse_program(program) -> None:
+    """Annotate a compiled program with its fused dispatch plan, in place.
+
+    Populates ``program.dispatch`` (list of :class:`FusedStep`),
+    ``program.fused_heads`` / ``program.fused_members`` (head-command ->
+    unit map and the set of non-head member commands, for the parallel
+    engine callback), and the ``fused_steps`` / ``dispatch_units`` /
+    ``fusion_ratio`` schedule stats.
+    """
+    chains = build_chains(program)
+    dispatch: list[FusedStep] = []
+    for chain in chains:
+        fn, specialized = _compose(chain)
+        head = chain[0]
+        if len(chain) == 1:
+            label = head.label
+        else:
+            label = f"fused[{len(chain)}]:{head.label}"
+        dispatch.append(
+            FusedStep(
+                steps=chain,
+                queue=head.queue,
+                pid=head.pid,
+                label=label,
+                site=head.site if len(chain) == 1 else f"fused:{head.site}+{len(chain) - 1}",
+                fn=fn,
+                specialized=specialized,
+            )
+        )
+    program.dispatch = dispatch
+    program.fused_heads = {u.steps[0].command: u for u in dispatch}
+    program.fused_members = {s.command for u in dispatch for s in u.steps[1:]}
+    stats = program.stats
+    stats.fused_steps = sum(len(u.steps) for u in dispatch if len(u.steps) > 1)
+    stats.dispatch_units = len(dispatch)
+    stats.fusion_ratio = (len(program.steps) / len(dispatch)) if dispatch else 1.0

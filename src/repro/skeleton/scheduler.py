@@ -41,6 +41,7 @@ from repro.system import Backend, Command, CommandQueue, Event, ParallelEngine, 
 from repro.system.queue import _site_name
 
 from .depgraph import DepGraph, GraphNode, NodeKind, Scope
+from .fusion import FUSION, FusedStep, fuse_program
 
 PieceKey = tuple  # ("c", node_uid, rank) | ("h", node_uid, msg_index)
 
@@ -56,6 +57,10 @@ class ScheduleStats:
     kernel_bytes: float = 0.0
     kernel_flops: float = 0.0
     copy_bytes: int = 0
+    # fusion annotations (populated by repro.skeleton.fusion.fuse_program)
+    fused_steps: int = 0  # constituent steps living inside multi-step units
+    dispatch_units: int = 0  # len(program.dispatch) after fusion
+    fusion_ratio: float = 1.0  # steps per dispatch unit (>= 1.0)
 
 
 @dataclass
@@ -91,6 +96,9 @@ class _Step:
     # copy steps only
     msg: object | None = None
     halo_field: object | None = None
+    # per-step metrics-handle cache: (registry, *handles), re-resolved when
+    # the registry identity changes (obs.enable(reset=True) swaps it)
+    metrics_cache: tuple | None = None
 
 
 @dataclass
@@ -101,6 +109,11 @@ class CompiledProgram:
     ``Plan.execute()`` replays the same objects.  Event *signals* are
     runtime state reset per parallel replay; the recording metadata and
     dependency wiring never change.
+
+    When the fusion pass ran at freeze time, ``dispatch`` holds the
+    batched replay plan (see :mod:`repro.skeleton.fusion`); ``steps`` /
+    ``step_of`` / ``queues`` stay per-constituent either way, so the
+    DES, sanitizer and tuner views of the program are fusion-invariant.
     """
 
     queues: list[CommandQueue]
@@ -108,6 +121,9 @@ class CompiledProgram:
     step_of: dict[Command, _Step]
     events: dict[PieceKey, Event]
     stats: ScheduleStats
+    dispatch: list[FusedStep] | None = None
+    fused_heads: dict[Command, FusedStep] = field(default_factory=dict)
+    fused_members: set[Command] = field(default_factory=set)
 
 
 class Plan:
@@ -134,6 +150,10 @@ class Plan:
         #: execution mode used when ``execute``/``run`` gets ``mode=None``;
         #: the autotuner overwrites this with the mode it selected
         self.default_mode = "serial"
+        #: tri-state fusion override: None follows the process default
+        #: (``fusion.FUSION.enabled``) at freeze time; set True/False
+        #: before the first ``execute()`` to pin this plan either way
+        self.fuse: bool | None = None
         self.levels = graph.bfs_levels(with_hints=False)
         self.num_streams = max(len(lvl) for lvl in self.levels)
         self.stream_of: dict[int, int] = {}
@@ -413,7 +433,12 @@ class Plan:
     def _ensure_program(self) -> CompiledProgram:
         if self._program is None:
             with _obs.span("plan.compile_program", cat="phase"):
-                self._program = self._compile_program()
+                program = self._compile_program()
+                fuse = FUSION.enabled if self.fuse is None else self.fuse
+                if fuse:
+                    with _obs.span("plan.fuse_program", cat="phase"):
+                        fuse_program(program)
+                self._program = program
         return self._program
 
     # -- replay ----------------------------------------------------------------
@@ -438,12 +463,22 @@ class Plan:
                 else:
                     fn()
             if sp is not None:
-                _obs.OBS.metrics.histogram(
-                    "kernel_seconds",
-                    bounds=_obs.Histogram.TIME_BOUNDS,
-                    device=step.pid,
-                    kernel=step.label,
-                ).observe(sp.duration)
+                # labeled-series resolution hoisted: the handle is cached on
+                # the step and re-resolved only when the registry is swapped
+                m = _obs.OBS.metrics
+                cache = step.metrics_cache
+                if cache is None or cache[0] is not m:
+                    cache = (
+                        m,
+                        m.histogram(
+                            "kernel_seconds",
+                            bounds=_obs.Histogram.TIME_BOUNDS,
+                            device=step.pid,
+                            kernel=step.label,
+                        ),
+                    )
+                    step.metrics_cache = cache
+                cache[1].observe(sp.duration)
         else:
             msg = step.msg
             with _obs.span(step.label, cat="copy", pid=step.pid, tid=step.queue.name, nbytes=msg.nbytes) as sp:
@@ -454,20 +489,64 @@ class Plan:
                     msg.fn()
             if sp is not None:
                 m = _obs.OBS.metrics
-                src, dst = str(msg.src_rank), str(msg.dst_rank)
-                m.counter("halo_bytes_sent", src=src, dst=dst).inc(msg.nbytes)
-                m.counter("halo_messages", src=src, dst=dst).inc()
-                m.histogram(
-                    "copy_seconds", bounds=_obs.Histogram.TIME_BOUNDS, src=src, dst=dst
-                ).observe(sp.duration)
-                m.histogram("copy_size_bytes", src=src, dst=dst).observe(msg.nbytes)
+                cache = step.metrics_cache
+                if cache is None or cache[0] is not m:
+                    src, dst = str(msg.src_rank), str(msg.dst_rank)
+                    cache = (
+                        m,
+                        m.counter("halo_bytes_sent", src=src, dst=dst),
+                        m.counter("halo_messages", src=src, dst=dst),
+                        m.histogram("copy_seconds", bounds=_obs.Histogram.TIME_BOUNDS, src=src, dst=dst),
+                        m.histogram("copy_size_bytes", src=src, dst=dst),
+                    )
+                    step.metrics_cache = cache
+                cache[1].inc(msg.nbytes)
+                cache[2].inc()
+                cache[3].observe(sp.duration)
+                cache[4].observe(msg.nbytes)
         if _SAN.active:
             _SAN.record(step.command)
 
+    def _run_fused(self, unit: FusedStep) -> None:
+        """Execute one fused dispatch unit.
+
+        Fast path (no cross-cutting layer active): one flight-ring slot
+        for the unit, then its precomposed closure — this is the whole
+        point of fusion.  Slow path (resilience, sanitizer or
+        observability armed): the constituents run through
+        :meth:`_run_step` unchanged, so fault sites re-raise with their
+        original keys, the sanitizer records every merged command, and
+        per-kernel spans/histograms are exactly the unfused ones (a
+        ``cat="fused"`` envelope span marks multi-step units in traces).
+        """
+        if _res.RES.active or _SAN.active or _obs.OBS.active:
+            if _obs.OBS.active and len(unit.steps) > 1:
+                with _obs.span(
+                    unit.label, cat="fused", pid=unit.pid, tid=unit.queue.name, fused=len(unit.steps)
+                ):
+                    for s in unit.steps:
+                        self._run_step(s)
+            else:
+                for s in unit.steps:
+                    self._run_step(s)
+            return
+        if _FLIGHT.enabled:
+            _FLIGHT.record(unit.pid, "fused", unit.site)
+        unit.fn()
+
     def _replay_serial(self, program: CompiledProgram) -> None:
-        """Host-ordered replay: every step in task-list order (historical)."""
-        for step in program.steps:
-            self._run_step(step)
+        """Host-ordered replay: every step in task-list order (historical).
+
+        With a fused dispatch plan the walk is over units instead of
+        steps — each unit runs at its head's position, which the fusion
+        legality rules prove is order-equivalent.
+        """
+        if program.dispatch is not None:
+            for unit in program.dispatch:
+                self._run_fused(unit)
+        else:
+            for step in program.steps:
+                self._run_step(step)
 
     def _replay_parallel(self, program: CompiledProgram) -> None:
         """Engine replay: one worker per device, event-wired synchronisation."""
@@ -479,7 +558,23 @@ class Plan:
             with self._engine_lock:
                 if self._engine is None:
                     self._engine = ParallelEngine()
-        self._engine.execute(program.queues, run_command=lambda cmd: self._run_step(program.step_of[cmd]))
+        if program.dispatch is not None:
+            # batch by fused unit: the head command triggers the whole
+            # unit, members are no-ops at their original positions (their
+            # event records stay in place, so signals still fire only
+            # after the batched work completed at or before head position)
+            heads, members = program.fused_heads, program.fused_members
+
+            def run(cmd: Command) -> None:
+                unit = heads.get(cmd)
+                if unit is not None:
+                    self._run_fused(unit)
+                elif cmd not in members:
+                    self._run_step(program.step_of[cmd])
+
+            self._engine.execute(program.queues, run_command=run)
+        else:
+            self._engine.execute(program.queues, run_command=lambda cmd: self._run_step(program.step_of[cmd]))
 
     # -- phase c: execution -----------------------------------------------------
     def execute(self, eager: bool = True, mode: str | None = None) -> ExecutionResult:

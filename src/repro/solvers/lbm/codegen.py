@@ -1,0 +1,220 @@
+"""Generated-C specialization of the twoPop collide+stream kernel.
+
+The interpreted kernel in :func:`repro.solvers.lbm.d3q19.make_twopop_container`
+walks the lattice directions with whole-array NumPy expressions; bitwise
+fidelity pins their operation order, which in turn forces ~14 full
+passes over the ``(q, cells)`` working set per launch — memory-bound in
+NumPy no matter how it is vectorised.  This module emits a single-pass C
+translation of the same kernel and registers it as the container's
+``specialize`` hook, which the fusion pass (:mod:`repro.skeleton.fusion`)
+installs into fused dispatch units.
+
+**Bitwise contract.**  The generated code replicates the interpreted
+per-element IEEE-754 operation sequence exactly:
+
+* ``rho``: sequential ``fq[0] + fq[1] + ...`` — NumPy's ``sum(axis=0)``
+  over the outer axis reduces sequentially;
+* ``u``: zero-initialised, then ``+=``/``-=`` of the nonzero-velocity
+  populations in the qi-major order of :meth:`LatticeSpec.moments`;
+* equilibrium: parenthesised exactly as the Python source associates —
+  ``(w * rho) * (((1 + 3 eu) + (4.5 eu) eu) - 1.5 usq)``;
+* bounce-back / moving-lid / sentinel selection per direction, with the
+  lid correction added as ``bb + (from_lid ? corr : 0.0)`` (matching the
+  ``np.where`` add in the interpreted kernel);
+* all constants embedded as C hex-float literals, and the translation
+  unit built with ``-ffp-contract=off`` (:mod:`repro.codegen.cc`).
+
+The specializer declines (returns ``None``) for anything but a dense
+SoA float64 3-D layout with a C-contiguous backing array — sparse
+grids, AoS layouts, virtual planning-only fields and 2-D lattices keep
+the interpreted path, as does any host without a C compiler.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro import codegen as _cc
+from repro.domain import Layout
+
+#: keep in sync with d3q19 (imported lazily there to avoid a cycle)
+SOLID_SENTINEL = -1.0
+RHO0 = 1.0
+
+_ARGTYPES = [ctypes.POINTER(ctypes.c_double), ctypes.POINTER(ctypes.c_double)] + [
+    ctypes.c_long
+] * 8 + [ctypes.c_double]
+
+
+def generate_twopop_source(lattice, lid_velocity: float) -> str:
+    """C source for one z-strip of the pull-scheme collide+stream kernel.
+
+    Signature: ``twopop_span(fin, fout, zs, ny, nx, h, lo, hi, gstart,
+    nztot, omega)`` — ``zs`` is the storage z-extent (owned + 2h ghost
+    slices), ``[lo, hi)`` the local owned z-range to process, ``gstart``
+    the rank's global z offset and ``nztot`` the global domain depth
+    (for the moving-lid test).  Strides are derived from ``ny``/``nx``,
+    so one compiled unit serves every rank and partition weighting.
+    """
+    hexf = _cc.hexf
+    q_count = lattice.q
+    vel, w, opp = lattice.velocities, lattice.weights, lattice.opposite
+    lines: list[str] = []
+    emit = lines.append
+    emit("void twopop_span(const double* restrict fin, double* restrict fout,")
+    emit("    long zs, long ny, long nx, long h, long lo, long hi, long gstart,")
+    emit("    long nztot, double omega) {")
+    emit(f"  const double thr = {hexf(SOLID_SENTINEL + 0.5)};")
+    emit(f"  const double sentinel = {hexf(SOLID_SENTINEL)};")
+    emit("  long plane = ny * nx;")
+    emit("  long qstride = zs * plane;")
+    emit("  for (long z = lo; z < hi; ++z) {")
+    emit("    long zz = z + h;")
+    emit("    int from_lid = (gstart + z + 1 >= nztot);")
+    emit("    for (long y = 0; y < ny; ++y) {")
+    emit("      for (long x = 0; x < nx; ++x) {")
+    emit("        long c = zz * plane + y * nx + x;")
+    emit(f"        double fq[{q_count}];")
+    emit("        double g, bb;")
+    emit("        fq[0] = fin[c];")
+    for q in range(1, q_count):
+        e = vel[q]
+        offz, offy, offx = (int(-comp) for comp in e)
+        # lateral out-of-range reads see the sentinel (the field border is
+        # initialised to it and never overwritten); z reads go through the
+        # ghost slices, always in range for h >= 1 stencils
+        conds = []
+        if offy:
+            conds.append(f"(y + ({offy}) >= 0 && y + ({offy}) < ny)")
+        if offx:
+            conds.append(f"(x + ({offx}) >= 0 && x + ({offx}) < nx)")
+        idx = f"{q} * qstride + (zz + ({offz})) * plane + (y + ({offy})) * nx + (x + ({offx}))"
+        if conds:
+            emit(f"        g = ({' && '.join(conds)}) ? fin[{idx}] : sentinel;")
+        else:
+            emit(f"        g = fin[{idx}];")
+        emit(f"        bb = fin[{int(opp[q])} * qstride + c];")
+        if e[0] < 0 and lid_velocity != 0.0:
+            corr = 6.0 * w[q] * RHO0 * (e[2] * lid_velocity)
+            emit(f"        bb = bb + (from_lid ? {hexf(corr)} : 0.0);")
+        emit(f"        fq[{q}] = (g <= thr) ? bb : g;")
+    emit("        double rho = fq[0] + fq[1];")
+    for q in range(2, q_count):
+        emit(f"        rho = rho + fq[{q}];")
+    for d in range(lattice.ndim):
+        emit(f"        double u{d} = 0.0;")
+    for q in range(q_count):
+        for d in range(lattice.ndim):
+            v = int(vel[q, d])
+            if v == 0:
+                continue
+            if v == 1:
+                emit(f"        u{d} = u{d} + fq[{q}];")
+            elif v == -1:
+                emit(f"        u{d} = u{d} - fq[{q}];")
+            else:
+                emit(f"        u{d} = u{d} + {hexf(float(v))} * fq[{q}];")
+    emit("        if (rho > 0.0) {")
+    for d in range(lattice.ndim):
+        emit(f"          u{d} = u{d} / rho;")
+    emit("        } else {")
+    for d in range(lattice.ndim):
+        emit(f"          u{d} = 0.0;")
+    emit("        }")
+    emit("        double usq = 0.0;")
+    for d in range(lattice.ndim):
+        emit(f"        usq = usq + u{d} * u{d};")
+    emit("        double eu, feq, t;")
+    for q in range(q_count):
+        emit("        eu = 0.0;")
+        for d in range(lattice.ndim):
+            v = int(vel[q, d])
+            if v == 0:
+                continue
+            if v == 1:
+                emit(f"        eu = eu + u{d};")
+            elif v == -1:
+                emit(f"        eu = eu - u{d};")
+            else:
+                emit(f"        eu = eu + {hexf(float(v))} * u{d};")
+        emit(
+            f"        feq = ({hexf(float(w[q]))} * rho) * "
+            "(((1.0 + 3.0 * eu) + (4.5 * eu) * eu) - 1.5 * usq);"
+        )
+        emit(f"        t = feq - fq[{q}];")
+        emit(f"        fout[{q} * qstride + c] = fq[{q}] + omega * t;")
+    emit("      }")
+    emit("    }")
+    emit("  }")
+    emit("}")
+    return "\n".join(lines) + "\n"
+
+
+def compile_twopop(lattice, lid_velocity: float):
+    """Compiled ``twopop_span`` for one (lattice, lid) pair, or None."""
+    key = ("lbm.twopop", lattice.name, _cc.hexf(lid_velocity))
+    return _cc.compile_shared(
+        key, generate_twopop_source(lattice, lid_velocity), "twopop_span", _ARGTYPES
+    )
+
+
+def make_twopop_specializer(grid, f_in, f_out, omega: float, lid_velocity: float, lattice):
+    """The container ``specialize`` hook for one twoPop launch direction.
+
+    Returns a ``(rank, view, span) -> callable | None`` hook; the fusion
+    pass calls it once per fused kernel unit at program-freeze time.  A
+    ``None`` result (unsupported layout, no compiler, odd storage) keeps
+    the interpreted closure.
+    """
+
+    def specialize(rank, view, span):
+        if lattice.ndim != 3:
+            return None
+        if getattr(f_in, "virtual", False) or getattr(f_out, "virtual", False):
+            return None
+        if getattr(f_in, "layout", None) is not Layout.SOA or getattr(f_out, "layout", None) is not Layout.SOA:
+            return None
+        try:
+            si = f_in.partition(rank).storage
+            so = f_out.partition(rank).storage
+        except (AttributeError, KeyError, IndexError):
+            return None
+        if si is None or so is None:
+            return None
+        for arr in (si, so):
+            if arr.dtype != np.float64 or arr.ndim != 4 or not arr.flags["C_CONTIGUOUS"]:
+                return None
+            if arr.shape[0] != lattice.q:
+                return None
+        nztot, ny, nx = (int(s) for s in grid.shape)
+        if si.shape[2:] != (ny, nx) or so.shape != si.shape:
+            return None
+        h = int(grid.radius)
+        if h < 1:
+            return None
+        pieces = list(span.pieces())
+        if not all(hasattr(p, "lo") and hasattr(p, "hi") for p in pieces):
+            return None
+        kfn = compile_twopop(lattice, lid_velocity)
+        if kfn is None:
+            return None
+        zs = int(si.shape[1])
+        gstart = int(grid.bounds[rank][0])
+        pin = si.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        pout = so.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        calls = [
+            (pin, pout, zs, ny, nx, h, int(p.lo), int(p.hi), gstart, nztot, float(omega))
+            for p in pieces
+        ]
+
+        def fused_kernel(calls=calls, kfn=kfn, _keep=(si, so)):
+            # _keep pins the backing arrays: the raw pointers in `calls`
+            # must never outlive the ndarrays they point into
+            for args in calls:
+                kfn(*args)
+
+        return fused_kernel
+
+    return specialize

@@ -71,7 +71,16 @@ def make_twopop_container(
 
         return compute
 
-    return grid.new_container(name, loading, flops_per_cell=350.0)
+    container = grid.new_container(name, loading, flops_per_cell=350.0)
+    if isinstance(grid, DenseGrid) and not getattr(grid, "virtual", False):
+        # opt into fused-kernel codegen: the loading lambda above closes
+        # over plain floats (no mutable scalar cells), so pre-binding the
+        # whole launch into one compiled closure is semantics-preserving;
+        # the hook itself still declines unsupported layouts at freeze time
+        from .codegen import make_twopop_specializer
+
+        container.specialize = make_twopop_specializer(grid, f_in, f_out, omega, lid_velocity, lattice)
+    return container
 
 
 class LidDrivenCavity:

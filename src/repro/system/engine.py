@@ -20,6 +20,19 @@ The engine honours exactly the stream/event wiring:
   through a caller-supplied ``run_command`` callback (default: call the
   command's ``fn``).
 
+Fused replay (:mod:`repro.skeleton.fusion`) batches dispatch through
+this same callback: the Plan's ``run_command`` executes a whole fused
+unit when the engine reaches the unit's *head* command and treats the
+remaining member commands as no-ops at their original positions.  The
+engine itself needs no special casing — member commands still occupy
+their slots in the per-device program, so every interleaved wait and
+record executes exactly where the recording placed it, and the
+preflight/watchdog deadlock checks see the unmodified wiring.  The
+contract the fusion pass upholds is that no wait sits between a unit's
+members on their queue, which makes running the unit early (at head
+position) indistinguishable, dependency-wise, from running the members
+at their own positions.
+
 No host-order crutch is consulted between devices, so a bitwise-correct
 parallel run is a live proof that the Plan's synchronisation alone
 enforces every dependency — the executor's checker claim

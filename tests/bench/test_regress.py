@@ -88,6 +88,46 @@ def test_read_bench_json_upgrades_v1_and_rejects_unknown(tmp_path):
         read_bench_json(p)
 
 
+def test_read_bench_json_upgrades_pre_fusion_docs_in_memory(tmp_path):
+    """Pre-/3 documents gain an empty ``fusion`` annotation and every
+    result is marked ``fused: False`` (they dispatched step by step)."""
+    for schema in ("repro-bench/1", "repro-bench/2"):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps(_doc(schema=schema)))
+        doc = read_bench_json(p)
+        assert doc["fusion"] == {}
+        assert all(r["fused"] is False for r in doc["results"])
+    # a /3 document's own flags survive untouched
+    p = tmp_path / "c.json"
+    v3 = _doc()
+    v3["results"][0]["fused"] = True
+    p.write_text(json.dumps(v3))
+    assert read_bench_json(p)["results"][0]["fused"] is True
+
+
+def test_fusion_ratio_drop_flags_on_result_entries():
+    old, new = _doc(), _doc()
+    old["results"][0]["fusion_ratio"] = 8.7
+    new["results"][0]["fusion_ratio"] = 2.0  # chains broke
+    findings = compare_docs(old, new, threshold=0.25)
+    flagged = [f for f in findings if f.regression]
+    assert [(f.label, f.metric) for f in flagged] == [("lbm-serial", "fusion_ratio")]
+    # improvement direction never flags
+    assert not any(f.regression for f in compare_docs(new, old, threshold=0.25))
+
+
+def test_fusion_speedup_annotation_compared_per_mode():
+    old = _doc(fusion={"speedup": {"serial": 8.0, "parallel": 5.0}})
+    new = _doc(fusion={"speedup": {"serial": 2.0, "parallel": 5.1}})
+    findings = compare_docs(old, new, threshold=0.25)
+    flagged = [f for f in findings if f.regression]
+    assert [(f.label, f.metric) for f in flagged] == [("fusion:serial", "fusion_speedup")]
+    # pre-/3 old document: no fusion labels to join, nothing compared
+    assert not any(
+        f.metric == "fusion_speedup" for f in compare_docs(_doc(), new, threshold=0.25)
+    )
+
+
 def test_render_lists_regressions_first():
     findings = compare_docs(_doc(wall=1.0, mlups=100.0), _doc(wall=2.0, mlups=100.0))
     text = render(findings, 0.25)

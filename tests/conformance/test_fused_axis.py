@@ -1,0 +1,80 @@
+"""The fused axis of the conformance matrix.
+
+Kernel fusion is on by default, so the main differential matrix
+(``test_differential.py``) already proves *fused* dispatch bitwise
+against the native baselines.  This module pins the axis explicitly:
+every solver runs each multi-device (occ, mode) configuration twice —
+once fused, once under :func:`repro.skeleton.fusion.disabled` — and
+both legs must match the native fingerprints bit for bit.  That makes
+"fusion is a pure plan-to-plan transform" a tested invariant rather
+than a design note: if a fused chain ever reorders a dependent step,
+batches a halo exchange wrongly, or a codegen-specialized kernel drifts
+by one ULP, exactly one leg of this axis breaks and names the
+configuration.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.skeleton import fusion
+
+from .harness import SOLVERS, assert_bitwise_equal, matrix_configs, weights_for
+
+# The weights axis is already crossed with fusion in the main matrix
+# (which runs fused by default); here the axis under test is fuse
+# itself, over every solver x devices x occ x mode.
+CONFIGS = [cfg for cfg in matrix_configs(device_counts=(2, 4, 8)) if cfg[3] == "uniform"]
+
+
+def _config_id(cfg) -> str:
+    devices, occ, mode, weighting = cfg
+    return f"{devices}dev-{occ.value}-{mode}"
+
+
+@pytest.mark.parametrize("fuse", [True, False], ids=["fused", "unfused"])
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+@pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
+def test_fused_axis_matches_native_bitwise(solver, config, fuse):
+    devices, occ, mode, weighting = config
+    run, native = SOLVERS[solver]
+    weights = weights_for(solver, devices, weighting)
+    with contextlib.nullcontext() if fuse else fusion.disabled():
+        got = run(devices, occ, mode, weights)
+    label = f"{solver}[{_config_id(config)}-{'fused' if fuse else 'unfused'}]"
+    assert_bitwise_equal(got, native(), label)
+
+
+def test_lbm_program_actually_fuses():
+    """The axis must not pass vacuously: the fused LBM program at four
+    devices has to batch its halo-exchange chains and specialize its
+    kernels, or the fused leg above is just the unfused leg renamed."""
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+
+    from .harness import LBM_SHAPE
+
+    fw = LidDrivenCavity(Backend.sim_gpus(4), LBM_SHAPE, omega=1.1, lid_velocity=0.08)
+    fw.step(1)
+    for sk in fw.skeletons:
+        program = sk.plan._ensure_program()
+        assert program.dispatch is not None
+        assert len(program.dispatch) < len(program.steps)
+        assert program.stats.fusion_ratio > 5.0
+        chain_lengths = sorted(len(u.steps) for u in program.dispatch if len(u.steps) > 1)
+        assert chain_lengths, "no multi-step units: copy chains did not fuse"
+
+
+def test_disabled_context_leaves_no_dispatch():
+    from repro.solvers.lbm import LidDrivenCavity
+    from repro.system import Backend
+
+    from .harness import LBM_SHAPE
+
+    with fusion.disabled():
+        fw = LidDrivenCavity(Backend.sim_gpus(2), LBM_SHAPE, omega=1.1, lid_velocity=0.08)
+        fw.step(1)
+        for sk in fw.skeletons:
+            assert sk.plan._ensure_program().dispatch is None

@@ -18,7 +18,7 @@ from repro import observability as obs
 from repro.observability import flight
 from repro.core import ops
 from repro.domain import STENCIL_7PT, DenseGrid
-from repro.skeleton import Skeleton
+from repro.skeleton import Skeleton, fusion
 from repro.system import Backend
 
 
@@ -56,31 +56,40 @@ def test_disabled_by_default():
 
 
 def test_disabled_overhead_under_2_percent():
-    # (a) instrumentation events per run, counted on an enabled recording.
-    # The flight recorder is always-on (it exists for post-mortems), so
-    # its ring-buffer appends are part of the same budget: every histogram
-    # observation, span, and flight record counts as one guarded event.
-    obs.enable()
-    flight.reset()
-    sk = _build_skeleton()
-    sk.run()
-    events = obs.metrics().updates + len(obs.tracer())
-    flight_records = flight.FLIGHT.records
-    assert events > 0
+    # The per-site guard model below matches the per-step dispatch path,
+    # so the whole measurement runs with fusion disabled: the enabled
+    # counting run always takes the per-step path anyway, and budgeting
+    # its site count against a fused run's (much shorter) wall-clock
+    # would compare different dispatch paths.  The fused fast path
+    # executes strictly fewer guarded sites and has its own bound in
+    # test_disabled_overhead_fused_path.
+    with fusion.disabled():
+        # (a) instrumentation events per run, counted on an enabled
+        # recording.  The flight recorder is always-on (it exists for
+        # post-mortems), so its ring-buffer appends are part of the same
+        # budget: every histogram observation, span, and flight record
+        # counts as one guarded event.
+        obs.enable()
+        flight.reset()
+        sk = _build_skeleton()
+        sk.run()
+        events = obs.metrics().updates + len(obs.tracer())
+        flight_records = flight.FLIGHT.records
+        assert events > 0
 
-    # (b) per-event costs, measured pessimistically.  Guarded sites pay
-    # one attribute read while disabled; flight records pay the real
-    # ring append (they are always-on by design), so they are costed at
-    # their full record() price, not the guard price.
-    obs.reset()
-    n = 50_000
-    per_guard = timeit.timeit(lambda: obs.OBS.active, number=n) / n
-    rec = flight.FlightRecorder()
-    per_record = timeit.timeit(lambda: rec.record("d0", "kernel", "k"), number=n) / n
+        # (b) per-event costs, measured pessimistically.  Guarded sites
+        # pay one attribute read while disabled; flight records pay the
+        # real ring append (they are always-on by design), so they are
+        # costed at their full record() price, not the guard price.
+        obs.reset()
+        n = 50_000
+        per_guard = timeit.timeit(lambda: obs.OBS.active, number=n) / n
+        rec = flight.FlightRecorder()
+        per_record = timeit.timeit(lambda: rec.record("d0", "kernel", "k"), number=n) / n
 
-    # (c) actual disabled run time of the same skeleton
-    sk.run()  # warm caches
-    t_run = min(timeit.repeat(sk.run, number=1, repeat=5))
+        # (c) actual disabled run time of the same skeleton
+        sk.run()  # warm caches
+        t_run = min(timeit.repeat(sk.run, number=1, repeat=5))
 
     worst_case_overhead = events * per_guard + flight_records * per_record
     assert worst_case_overhead < 0.02 * t_run, (
@@ -88,4 +97,35 @@ def test_disabled_overhead_under_2_percent():
         f"{per_guard * 1e9:.0f} ns + {flight_records} flight records x "
         f"{per_record * 1e9:.0f} ns = {worst_case_overhead * 1e6:.1f} us vs "
         f"run() = {t_run * 1e6:.1f} us"
+    )
+
+
+def test_disabled_overhead_fused_path():
+    """The fused fast path keeps the same bound against its faster runs.
+
+    Fused dispatch pays per *unit*, not per step: three layer guards plus
+    one flight record per dispatch unit.  Both are counted from the real
+    replay (the flight ring is always-on, so its record counter is exact)
+    and budgeted against the fused disabled wall-clock.
+    """
+    obs.reset()
+    sk = _build_skeleton()
+    sk.run()  # warm caches, freeze the fused program
+    before = flight.FLIGHT.records
+    sk.run()
+    flight_records = flight.FLIGHT.records - before
+    assert flight_records > 0
+
+    n = 50_000
+    per_guard = timeit.timeit(lambda: obs.OBS.active, number=n) / n
+    rec = flight.FlightRecorder()
+    per_record = timeit.timeit(lambda: rec.record("d0", "kernel", "k"), number=n) / n
+    t_run = min(timeit.repeat(sk.run, number=1, repeat=5))
+
+    # four guards per unit: resilience, sanitizer, observability, flight
+    worst_case_overhead = 4 * flight_records * per_guard + flight_records * per_record
+    assert worst_case_overhead < 0.02 * t_run, (
+        f"fused-path bound violated: {flight_records} units x "
+        f"(4 x {per_guard * 1e9:.0f} ns + {per_record * 1e9:.0f} ns) = "
+        f"{worst_case_overhead * 1e6:.1f} us vs run() = {t_run * 1e6:.1f} us"
     )

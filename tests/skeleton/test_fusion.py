@@ -1,0 +1,178 @@
+"""Unit tests for the fusion pass (``repro.skeleton.fusion``).
+
+The conformance fused axis proves end-to-end bitwise equality; this
+module pins the mechanics — chain legality against the recorded wiring,
+dispatch structure, the tri-state ``Plan.fuse`` override, fallback when
+the C toolchain is unavailable, timing-model invariance, and the
+observability contract of fused replay (constituent spans survive, a
+``fused`` envelope appears).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.skeleton import fusion
+from repro.solvers.lbm import LidDrivenCavity
+from repro.system import Backend
+from repro.system.queue import RecordEventCommand
+
+SHAPE = (16, 8, 8)
+ARGS = {"omega": 1.1, "lid_velocity": 0.08}
+
+
+def _cavity(devices=4):
+    return LidDrivenCavity(Backend.sim_gpus(devices), SHAPE, **ARGS)
+
+
+def _programs(fw):
+    return [sk.plan._ensure_program() for sk in fw.skeletons]
+
+
+def test_fused_vs_unfused_bitwise_both_modes():
+    for mode in ("serial", "parallel"):
+        fused = _cavity()
+        fused.step(7, mode=mode)
+        with fusion.disabled():
+            plain = _cavity()
+            plain.step(7, mode=mode)
+        assert np.array_equal(fused.current.to_numpy(), plain.current.to_numpy()), mode
+
+
+def test_chain_legality_invariants():
+    """Every multi-step unit: one queue, one kind, records-only interior."""
+    fw = _cavity()
+    fw.step(1)
+    saw_multi = False
+    for program in _programs(fw):
+        assert program.dispatch is not None
+        # dispatch covers every step exactly once, in issue order
+        covered = [s for u in program.dispatch for s in u.steps]
+        assert covered == program.steps
+        for unit in program.dispatch:
+            kinds = {s.kind for s in unit.steps}
+            queues = {id(s.queue) for s in unit.steps}
+            assert len(kinds) == 1 and len(queues) == 1
+            assert unit.sites == tuple(s.site for s in unit.steps)
+            if len(unit.steps) > 1:
+                saw_multi = True
+                q = unit.steps[0].queue
+                pos = {c: i for i, c in enumerate(q.commands)}
+                for a, b in zip(unit.steps, unit.steps[1:]):
+                    interior = q.commands[pos[a.command] + 1 : pos[b.command]]
+                    assert all(isinstance(c, RecordEventCommand) for c in interior)
+        heads = {u.steps[0].command for u in program.dispatch}
+        assert set(program.fused_heads) == heads
+        assert program.fused_members == {
+            s.command for u in program.dispatch for s in u.steps[1:]
+        }
+    assert saw_multi, "no multi-step units: nothing actually fused"
+
+
+def test_plan_fuse_tristate_override():
+    fw = _cavity(devices=2)
+    for sk in fw.skeletons:
+        sk.plan.fuse = False
+    fw.step(1)
+    assert all(p.dispatch is None for p in _programs(fw))
+
+    with fusion.disabled():
+        fw2 = _cavity(devices=2)
+        for sk in fw2.skeletons:
+            sk.plan.fuse = True  # explicit True beats the disabled default
+        fw2.step(1)
+    assert all(p.dispatch is not None for p in _programs(fw2))
+
+
+def test_timing_model_unchanged_by_fusion():
+    """Fusion batches replay dispatch only: the recorded queues the DES
+    simulator prices are identical, so the modeled makespan is too."""
+    fused = _cavity()
+    fused.step(1)
+    with fusion.disabled():
+        plain = _cavity()
+        plain.step(1)
+    assert fused.iteration_makespan() == plain.iteration_makespan()
+
+
+def test_fallback_without_cc_is_bitwise():
+    """REPRO_DISABLE_CC forces the interpreted kernels inside fused
+    units; results must not change (separate process: the codegen cache
+    and the availability probe are process-global)."""
+    code = (
+        "import numpy as np\n"
+        "from repro.system import Backend\n"
+        "from repro.solvers.lbm import LidDrivenCavity\n"
+        f"fw = LidDrivenCavity(Backend.sim_gpus(4), {SHAPE!r}, omega=1.1, lid_velocity=0.08)\n"
+        "fw.step(5)\n"
+        "np.save('fused_nocc.npy', fw.current.to_numpy())\n"
+    )
+    env = dict(os.environ, REPRO_DISABLE_CC="1", PYTHONPATH="src")
+    subprocess.run([sys.executable, "-c", code], check=True, env=env, timeout=300)
+    try:
+        got = np.load("fused_nocc.npy")
+    finally:
+        os.unlink("fused_nocc.npy")
+    ref = _cavity()
+    ref.step(5)
+    assert np.array_equal(got, ref.current.to_numpy())
+
+
+def test_specialized_kernels_used_when_cc_available():
+    from repro import codegen
+
+    if not codegen.available():
+        pytest.skip("no C compiler in this environment")
+    fw = _cavity()
+    fw.step(1)
+    specialized = [u for p in _programs(fw) for u in p.dispatch if u.specialized]
+    assert specialized, "C toolchain available but no kernel was specialized"
+
+
+def test_fused_replay_under_observability_keeps_constituent_spans():
+    fw = _cavity()
+    fw.step(1)  # freeze fused programs first, outside instrumentation
+    obs.enable(reset=True)
+    try:
+        fw.step(1)
+        spans = obs.tracer().spans
+        cats = {s.cat for s in spans}
+        assert "fused" in cats, "no fused envelope spans under observability"
+        kernel_spans = [s for s in spans if s.cat == "kernel"]
+        copy_spans = [s for s in spans if s.cat == "copy"]
+        assert kernel_spans and copy_spans, "constituent spans lost in fused replay"
+        envelopes = [s for s in spans if s.cat == "fused"]
+        assert all(s.args.get("fused", 0) > 1 for s in envelopes)
+    finally:
+        obs.disable()
+
+
+def test_fusion_stats_populated():
+    fw = _cavity()
+    fw.step(1)
+    for program in _programs(fw):
+        stats = program.stats
+        assert stats.dispatch_units == len(program.dispatch)
+        assert stats.fusion_ratio == pytest.approx(len(program.steps) / len(program.dispatch))
+        assert stats.fused_steps == sum(
+            len(u.steps) for u in program.dispatch if len(u.steps) > 1
+        )
+
+
+def test_single_device_program_still_fuses_kernels():
+    """No halo copies at one device, but kernel steps still become
+    (possibly specialized) singleton units behind the fast path."""
+    fw = _cavity(devices=1)
+    fw.step(3)
+    with fusion.disabled():
+        plain = _cavity(devices=1)
+        plain.step(3)
+    assert np.array_equal(fw.current.to_numpy(), plain.current.to_numpy())
+    for program in _programs(fw):
+        assert program.dispatch is not None
