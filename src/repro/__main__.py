@@ -108,7 +108,7 @@ def cmd_collect() -> int:
     return 0
 
 
-def cmd_trace(name: str, out: str, devices: int, fuse: bool = True) -> int:
+def cmd_trace(name: str, out: str, devices: int, fuse: bool = True, mode: str = "serial") -> int:
     import contextlib
 
     from repro import observability as obs
@@ -126,7 +126,7 @@ def cmd_trace(name: str, out: str, devices: int, fuse: bool = True) -> int:
         with fusion.disabled() if not fuse else contextlib.nullcontext():
             obs.enable()
             workload = build_workload(name, devices=devices)
-            workload.run()
+            workload.run(mode=mode)
             sim = workload.sim_trace()
             obs.disable()
     except KeyError as exc:
@@ -199,7 +199,9 @@ def cmd_bench(
     tripwire: float | None,
     fuse: bool = True,
     fuse_gate: float | None = None,
+    process_gate: float | None = None,
 ) -> int:
+    from repro.bench.harness import usable_cpu_count
     from repro.bench.parallel import run_bench, summarize, write_report
 
     if devices < 1:
@@ -239,6 +241,28 @@ def cmd_bench(
             )
             return 1
         print(f"fuse-gate ok: fused serial is {speedup:.2f}x unfused (required {fuse_gate:.2f}x)")
+    if process_gate is not None:
+        # the gate only makes sense where process mode can actually win:
+        # with the legs skipped (fallback armed / no shared memory) or a
+        # single usable core, record why and pass rather than assert a
+        # speedup the machine cannot deliver
+        if "process_skipped" in report:
+            print(f"process-gate skipped: {report['process_skipped']}")
+        elif usable_cpu_count() < 2:
+            print(f"process-gate skipped: only {usable_cpu_count()} usable core(s)")
+        else:
+            speedup = report.get("speedup_process")
+            if speedup is None:
+                print("PROCESS-GATE: no process speedup in the report", file=sys.stderr)
+                return 1
+            if speedup < process_gate:
+                print(
+                    f"PROCESS-GATE: process replay is only {speedup:.2f}x serial "
+                    f"(required {process_gate:.2f}x)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"process-gate ok: process is {speedup:.2f}x serial (required {process_gate:.2f}x)")
     return 0
 
 
@@ -268,7 +292,7 @@ def cmd_sanitize(
         return 2
 
     obs.enable()
-    modes = ("serial", "parallel") if mode == "both" else (mode,)
+    modes = ("serial", "parallel", "process") if mode == "all" else ("serial", "parallel") if mode == "both" else (mode,)
     reports = []
     try:
         # --no-fuse sanitizes the raw per-step plans; either way the
@@ -425,6 +449,7 @@ def cmd_chaos(
     fmt: str,
     out: str | None,
     flight_out: str | None,
+    mode: str = "serial",
 ) -> int:
     import json
 
@@ -435,7 +460,7 @@ def cmd_chaos(
 
     obs.enable()
     try:
-        report = run_chaos(name, events=events, seed=seed, devices=devices, losses=losses)
+        report = run_chaos(name, events=events, seed=seed, devices=devices, losses=losses, mode=mode)
     except (KeyError, ValueError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -502,6 +527,12 @@ def main(argv: list[str] | None = None) -> int:
     tr.add_argument("-o", "--output", default="trace.json", help="Chrome trace JSON output path")
     tr.add_argument("--devices", type=int, default=2, help="simulated device count (default 2)")
     tr.add_argument("--no-fuse", action="store_true", help="trace raw per-step dispatch (no fusion pass)")
+    tr.add_argument(
+        "--mode",
+        default="serial",
+        choices=["serial", "parallel", "process"],
+        help="execution mode for the traced run (default serial)",
+    )
     fl = sub.add_parser("faults", help="run a fault-matrix miniature with recovery armed")
     fl.add_argument("name", help="fault-matrix workload: cg or lbm")
     fl.add_argument(
@@ -532,6 +563,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="fail (exit 1) unless fused serial dispatch beats unfused by this factor",
     )
+    bn.add_argument(
+        "--process-gate",
+        type=float,
+        default=None,
+        help=(
+            "fail (exit 1) unless process replay beats serial by this factor; "
+            "passes with a note when process legs were skipped or <2 cores are usable"
+        ),
+    )
     sn = sub.add_parser("sanitize", help="race-sanitize a miniature's compiled schedule")
     sn.add_argument("name", help="workload: lbm, poisson, karman or elasticity")
     sn.add_argument("--devices", type=int, default=4, help="simulated device count (default 4)")
@@ -539,8 +579,8 @@ def main(argv: list[str] | None = None) -> int:
     sn.add_argument(
         "--mode",
         default="both",
-        choices=["serial", "parallel", "both"],
-        help="replay mode(s) to sanitize (default both)",
+        choices=["serial", "parallel", "process", "both", "all"],
+        help="replay mode(s) to sanitize (default both; 'all' adds process)",
     )
     sn.add_argument("--mutate", action="store_true", help="also grade the detector against schedule mutants")
     sn.add_argument("--no-fuse", action="store_true", help="sanitize the raw per-step plans (no fusion pass)")
@@ -561,7 +601,7 @@ def main(argv: list[str] | None = None) -> int:
     rp.add_argument(
         "--mode",
         default="serial",
-        choices=["serial", "parallel"],
+        choices=["serial", "parallel", "process"],
         help="replay mode for the modeled timeline (default serial)",
     )
     rp.add_argument("--format", default="text", choices=["text", "json", "html"], help="output format")
@@ -602,6 +642,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write a flight-recorder ring snapshot JSON (CI artifact)",
     )
+    ch.add_argument(
+        "--mode",
+        default="serial",
+        choices=["serial", "parallel", "process"],
+        help="execution mode for the soak (armed resilience degrades to serial; default serial)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -610,7 +656,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "collect":
         return cmd_collect()
     if args.command == "trace":
-        return cmd_trace(args.name, args.output, args.devices, fuse=not args.no_fuse)
+        return cmd_trace(args.name, args.output, args.devices, fuse=not args.no_fuse, mode=args.mode)
     if args.command == "faults":
         return cmd_faults(args.name, args.profile, args.output, args.devices, args.seed)
     if args.command == "bench":
@@ -623,6 +669,7 @@ def main(argv: list[str] | None = None) -> int:
             args.tripwire,
             fuse=not args.no_fuse,
             fuse_gate=args.fuse_gate,
+            process_gate=args.process_gate,
         )
     if args.command == "sanitize":
         return cmd_sanitize(
@@ -658,6 +705,7 @@ def main(argv: list[str] | None = None) -> int:
             args.format,
             args.output,
             args.flight_out,
+            mode=args.mode,
         )
     return cmd_info()
 

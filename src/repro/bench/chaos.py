@@ -27,6 +27,7 @@ renders through the dashboard (:func:`repro.bench.dashboard.chaos_to_text`
 
 from __future__ import annotations
 
+import functools
 import json
 import math
 from collections.abc import Callable
@@ -88,7 +89,7 @@ def _backend(devices: int) -> Backend:
     return Backend.sim_gpus(devices, machine=mixed_pcie(devices))
 
 
-def _probe(wl: ChaosWorkload, devices: int, seed: int):
+def _probe(wl: ChaosWorkload, devices: int, seed: int, mode: str = "serial"):
     """Fault-free reference run that doubles as the storm calibrator.
 
     Armed with a zero-rate plan (plus never-firing loss triggers on every
@@ -98,7 +99,7 @@ def _probe(wl: ChaosWorkload, devices: int, seed: int):
     and loss triggers are derived from exactly these counts.
     """
     plan = res.FaultPlan(seed, device_loss={r: 10**9 for r in range(devices)})
-    app = wl.factory(_backend(devices))
+    app = wl.factory(_backend(devices), mode=mode)
     with res.session(plan, res.RecoveryPolicy()):
         for i in range(wl.steps):
             app.step(i)
@@ -305,8 +306,16 @@ def run_chaos(
     devices: int = 4,
     losses: int = 2,
     policy: res.RecoveryPolicy | None = None,
+    mode: str = "serial",
 ) -> ChaosReport:
-    """One full soak: probe/reference, calibrated storm, bitwise verdict."""
+    """One full soak: probe/reference, calibrated storm, bitwise verdict.
+
+    ``mode`` is the requested replay mode for every app step.  The soak
+    runs inside an armed resilience session, so ``parallel`` and
+    ``process`` degrade to serial with their typed fallback warnings —
+    requesting them here chiefly proves (and demonstrates) that the
+    degradation path is clean under a full fault storm.
+    """
     if name not in CHAOS_WORKLOADS:
         supported = ", ".join(sorted(CHAOS_WORKLOADS))
         raise KeyError(f"no chaos workload named '{name}'; supported: {supported}")
@@ -318,7 +327,7 @@ def run_chaos(
             f"got devices={devices}, losses={losses}"
         )
     wl = CHAOS_WORKLOADS[name]
-    reference, draws, touches = _probe(wl, devices, seed)
+    reference, draws, touches = _probe(wl, devices, seed, mode=mode)
     plan = make_chaos_plan(seed, events, draws, touches, devices, losses)
     if policy is None:
         # short intervals + several generations: corruption rollbacks stay
@@ -330,7 +339,7 @@ def run_chaos(
             recalibrate_interval=max(4, wl.steps // 4),
         )
     driver = ChaosDriver(
-        wl.factory,
+        functools.partial(wl.factory, mode=mode),
         _backend(devices),
         wl.steps,
         policy=policy,

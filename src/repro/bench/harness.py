@@ -2,7 +2,7 @@
 
 Besides the text-table helpers the benchmarks print, this module owns
 the machine-readable result format: :func:`write_bench_json` emits a
-``BENCH_<exp>.json`` document (schema ``repro-bench/3``) recording the
+``BENCH_<exp>.json`` document (schema ``repro-bench/4``) recording the
 experiment id, its parameters, the runtime environment (python / numpy
 versions, usable CPU core count — essential context for wall-clock
 numbers), and one entry per measured configuration with wall-clock
@@ -12,8 +12,12 @@ distributions from an instrumented pass) and ``critical_path`` (the
 modeled makespan's exact attribution) — that ``/1`` readers can
 ignore.  Schema ``/3`` adds a ``fusion`` annotation (static
 ``fusion_ratio`` / ``fused_steps`` / per-mode ``fusion_speedup`` from a
-fused-vs-unfused sweep) and a per-result ``fused`` flag;
-:func:`read_bench_json` accepts all three versions.  CI uploads
+fused-vs-unfused sweep) and a per-result ``fused`` flag.  Schema ``/4``
+adds the ``process`` execution mode: result rows labelled
+``<exp>-process[-unfused]`` and a ``speedup_process`` /
+``process_skipped`` pair in ``params`` — pre-/4 documents simply lack
+those labels, so label-joined comparisons skip them;
+:func:`read_bench_json` accepts all four versions.  CI uploads
 these artifacts so the perf trajectory of the repo is diffable across
 commits, and ``python -m repro report --compare old.json new.json``
 (see :mod:`repro.bench.regress`) turns a pair of them into a
@@ -31,10 +35,10 @@ import sys
 import time
 from collections.abc import Callable, Iterable
 
-BENCH_SCHEMA = "repro-bench/3"
+BENCH_SCHEMA = "repro-bench/4"
 
-#: schema versions read_bench_json accepts (all are forward subsets of /3)
-KNOWN_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
+#: schema versions read_bench_json accepts (all are forward subsets of /4)
+KNOWN_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3", "repro-bench/4")
 
 
 def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -148,15 +152,17 @@ def write_bench_json(
 
 
 def read_bench_json(path) -> dict:
-    """Load a ``BENCH_*.json`` document, accepting schema ``/1``–``/3``.
+    """Load a ``BENCH_*.json`` document, accepting schema ``/1``–``/4``.
 
-    Older documents are upgraded in memory to the ``/3`` shape (empty
+    Older documents are upgraded in memory to the ``/4`` shape (empty
     ``percentiles`` / ``critical_path`` / ``fusion`` annotations; every
     result without a ``fused`` flag is marked ``fused: False`` — pre-/3
-    runs dispatched step by step) so downstream code — the regression
-    checker in particular — handles one shape only.  An unrecognised
-    schema raises ``ValueError`` rather than silently comparing apples
-    to oranges.
+    runs dispatched step by step; ``params.process_skipped`` defaults to
+    a "schema predates process mode" note on pre-/4 documents, which
+    never carry ``<exp>-process`` result labels) so downstream code —
+    the regression checker in particular — handles one shape only.  An
+    unrecognised schema raises ``ValueError`` rather than silently
+    comparing apples to oranges.
     """
     doc = json.loads(pathlib.Path(path).read_text())
     schema = doc.get("schema")
@@ -168,4 +174,8 @@ def read_bench_json(path) -> dict:
     doc.setdefault("results", [])
     for entry in doc["results"]:
         entry.setdefault("fused", False)
+    if schema != BENCH_SCHEMA:
+        params = doc.setdefault("params", {})
+        if "speedup_process" not in params:
+            params.setdefault("process_skipped", f"document predates process mode ({schema})")
     return doc

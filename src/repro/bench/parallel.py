@@ -1,18 +1,26 @@
-"""Serial-vs-parallel miniature benchmarks behind ``python -m repro bench``.
+"""Execution-mode miniature benchmarks behind ``python -m repro bench``.
 
 These are small *really-executed* workloads (no virtual planning-only
-domains): each runs the same compiled skeletons in both modes, measures
+domains): each runs the same compiled skeletons in every execution mode
+(serial / parallel threads / worker processes), measures
 best-of-``REPEATS`` wall-clock over a fixed iteration count (single
 timings on a shared host are too noisy to gate CI on), and reports the
 DES makespan of one iteration alongside, so the document shows both the
 measured host time and the modelled device time.
 
-Caveat recorded in every document's ``env.cpu_count``: the parallel
-engine's speedup comes from NumPy kernels releasing the GIL across
-per-device worker threads, so it needs multiple usable cores.  On a
-single-core machine parallel mode measures pure engine overhead; the CI
-tripwire bounds that overhead (parallel <= ``tripwire`` x serial) rather
-than asserting a speedup it cannot deliver there.
+Caveat recorded in every document's ``env.cpu_count``: any cross-device
+speedup needs multiple usable cores — the parallel engine's from NumPy
+kernels releasing the GIL across worker threads, the process engine's
+from forked workers that dodge the GIL entirely.  On a single-core
+machine both modes measure pure engine overhead (for process mode, a
+pipe round-trip plus event-board signalling per replay); the CI
+tripwire bounds the thread engine's overhead (parallel <= ``tripwire``
+x serial) rather than asserting a speedup it cannot deliver there,
+while process legs simply record their honest numbers.  Process legs
+are skipped outright (``process_skipped`` notes why) when
+:func:`repro.system.process_fallback_reason` says the mode would
+silently degrade to serial — a "process" column that secretly measured
+serial replay would be worse than no column.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from repro.skeleton import fusion
 from .harness import usable_cpu_count, write_bench_json
 from .metrics import mlups
 
-MODES = ("serial", "parallel")
+MODES = ("serial", "parallel", "process")
 REPEATS = 3  # best-of-N: single timings on a shared/loaded host swing widely
 
 
@@ -143,9 +151,12 @@ def run_bench(
 ) -> dict:
     """Run one miniature in each requested mode; return the report dict.
 
-    The report carries the per-mode measurements plus, when both modes
+    The report carries the per-mode measurements plus, when the modes
     ran, ``speedup_parallel`` (serial wall-clock / parallel wall-clock —
-    above 1.0 means parallel won).  With ``fuse=True`` (the default)
+    above 1.0 means parallel won) and likewise ``speedup_process``.
+    Process legs are dropped (with a ``process_skipped`` reason in the
+    report) when process mode would fall back to serial — see the
+    module docstring.  With ``fuse=True`` (the default)
     every mode runs twice — fused dispatch and, for the comparison
     column, a ``--no-fuse`` leg — and the report gains a ``fusion``
     annotation: the static chain stats of the frozen programs plus the
@@ -158,6 +169,13 @@ def run_bench(
         raise KeyError(f"no parallel-mode bench for '{exp}'; supported: {supported}")
     fn, shape, default_iters, description = BENCHES[exp]
     iters = default_iters if iters is None else iters
+    process_skipped = None
+    if "process" in modes:
+        from repro.system import process_fallback_reason
+
+        process_skipped = process_fallback_reason()
+        if process_skipped is not None:
+            modes = tuple(m for m in modes if m != "process")
     results = []
     for mode in modes:
         if fuse:
@@ -175,9 +193,13 @@ def run_bench(
         },
         "results": results,
     }
+    if process_skipped is not None:
+        report["process_skipped"] = process_skipped
     primary = {r["mode"]: r["wall_clock_s"] for r in results if r["fused"] == fuse}
     if "serial" in primary and "parallel" in primary and primary["parallel"] > 0:
         report["speedup_parallel"] = primary["serial"] / primary["parallel"]
+    if "serial" in primary and "process" in primary and primary["process"] > 0:
+        report["speedup_process"] = primary["serial"] / primary["process"]
     if fuse:
         fused_walls = {r["mode"]: r["wall_clock_s"] for r in results if r["fused"]}
         unfused_walls = {r["mode"]: r["wall_clock_s"] for r in results if not r["fused"]}
@@ -262,7 +284,11 @@ def write_report(report: dict, out_dir=".") -> str:
 
     pathlib.Path(out_dir).mkdir(parents=True, exist_ok=True)
     path = pathlib.Path(out_dir) / f"BENCH_{report['exp']}.json"
-    extra = {k: report[k] for k in ("description", "speedup_parallel", "tuner") if k in report}
+    extra = {
+        k: report[k]
+        for k in ("description", "speedup_parallel", "speedup_process", "process_skipped", "tuner")
+        if k in report
+    }
     params = dict(report["params"], **extra)
     return str(
         write_bench_json(
@@ -288,6 +314,10 @@ def summarize(report: dict) -> str:
         )
     if "speedup_parallel" in report:
         lines.append(f"  parallel speedup over serial: {report['speedup_parallel']:.2f}x")
+    if "speedup_process" in report:
+        lines.append(f"  process speedup over serial: {report['speedup_process']:.2f}x")
+    if "process_skipped" in report:
+        lines.append(f"  process legs skipped: {report['process_skipped']}")
     if "fusion" in report:
         f = report["fusion"]
         per_mode = "  ".join(f"{m}={s:.2f}x" for m, s in sorted(f["speedup"].items()))

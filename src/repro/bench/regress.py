@@ -1,7 +1,7 @@
 """Bench regression checking: did this change make the numbers worse?
 
 Compares two ``BENCH_<exp>.json`` documents (any mix of schema
-``repro-bench/1`` through ``/3``; see
+``repro-bench/1`` through ``/4``; see
 :func:`repro.bench.harness.read_bench_json`) result-by-result, joined
 on each entry's ``label``.  A finding is flagged when a metric moved
 past ``threshold`` in the *bad* direction — wall-clock or simulated
@@ -10,8 +10,9 @@ regressions in the ``percentiles`` annotation (p99 up), and for ``/3``
 documents, fusion regressions in the ``fusion`` annotation (static
 ``fusion_ratio`` down — chains broke — or a per-mode measured
 ``fusion_speedup`` down).  Pre-/3 documents simply lack the fusion
-labels, so the label join skips them.  Improvements are reported as
-notes, never as failures.
+labels, and pre-/4 documents lack the ``<exp>-process`` result labels,
+so the label join skips them.  Improvements are reported as notes,
+never as failures.
 
 The checker is deliberately a *soft* gate by default: miniature wall
 clocks on shared CI hosts are noisy, so CI runs it warn-only

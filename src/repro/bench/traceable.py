@@ -26,10 +26,11 @@ class TraceWorkload:
         self.skeletons = skeletons
         self.iterations = iterations
 
-    def run(self) -> None:
+    def run(self, mode: str | None = None) -> None:
+        """Execute every skeleton eagerly; ``mode`` as in :meth:`Skeleton.run`."""
         for _ in range(self.iterations):
             for sk in self.skeletons:
-                sk.run()
+                sk.run(mode=mode)
 
     def sim_trace(self) -> Trace:
         """Simulated timeline of the first skeleton's last execution."""

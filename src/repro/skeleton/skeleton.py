@@ -86,10 +86,18 @@ class Skeleton:
         ``mode="parallel"`` replays through the
         :class:`~repro.system.ParallelEngine`: one worker thread per
         device, synchronised only by the recorded stream/event wiring
-        (bitwise-identical results, concurrent wall-clock).  While a
-        resilience session is armed the plan forces serial replay and
-        emits a :class:`~repro.system.ParallelFallbackWarning`, since
-        rollback-and-replay recovery assumes host-ordered execution.
+        (bitwise-identical results, concurrent wall-clock).
+        ``mode="process"`` replays through the
+        :class:`~repro.system.ProcessEngine`: one forked worker
+        *process* per device over shared-memory payloads — the same
+        wiring and bitwise-identical results, but truly concurrent
+        kernels (no GIL).  While a resilience session is armed the plan
+        forces serial replay and emits a
+        :class:`~repro.system.ParallelFallbackWarning`, since rollback-
+        and-replay recovery assumes host-ordered execution; process mode
+        likewise degrades to serial (with a
+        :class:`~repro.system.ProcessFallbackWarning`) when the
+        sanitizer recorder is armed or shared memory is unavailable.
 
         Either way the schedule itself is frozen after the first call:
         repeated ``run()`` re-derives no dependencies and allocates no
@@ -109,7 +117,7 @@ class Skeleton:
         self,
         machine: MachineSpec | None = None,
         occ_levels=None,
-        modes: tuple[str, ...] = ("serial", "parallel"),
+        modes: tuple[str, ...] = ("serial", "parallel", "process"),
     ) -> TuneDecision:
         """Pick the OCC level and execution mode with the best simulated
         makespan, and adopt them in place.
@@ -118,9 +126,14 @@ class Skeleton:
         stream through the DES under ``machine`` (no wall clock
         involved).  The winning OCC's compiled plan replaces this
         skeleton's, and the winning mode becomes the plan's default, so
-        subsequent ``run()`` calls use the tuned configuration.  Weights
-        are not searched here — re-partitioning needs a grid rebuild;
-        see :func:`repro.tuner.tune_workload` for the full search.
+        subsequent ``run()`` calls use the tuned configuration.  Note
+        the DES models dispatch cost but not the GIL, so ``process``
+        never beats ``parallel`` there (same per-device layout, larger
+        spinup) — its candidates document the modeled overhead, while
+        the wall-clock case for process mode is made by the benchmarks.
+        Weights are not searched here — re-partitioning needs a grid
+        rebuild; see :func:`repro.tuner.tune_workload` for the full
+        search.
         """
         from repro.sim.replay import sim_makespan  # noqa: PLC0415 - keep sim out of hot imports
 

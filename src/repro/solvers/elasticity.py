@@ -165,21 +165,24 @@ def _active_lookup(grid: Grid):
     return lambda z, y, x: np.broadcast_to(True, np.broadcast_shapes(np.shape(z), np.shape(y), np.shape(x)))
 
 
-_MASK_CACHE: dict[int, object] = {}
-
-
 def _mask_field(grid: Grid):
-    """The 0/1 element-density indicator field of a grid (cached)."""
-    if grid.uid not in _MASK_CACHE:
+    """The 0/1 element-density indicator field of a grid (cached).
+
+    Cached on the grid instance (not a module-global dict) so the field
+    — and through it the backend's shared-memory arenas — dies with the
+    grid instead of pinning device memory for the process lifetime.
+    """
+    m = getattr(grid, "_density_mask_field", None)
+    if m is None:
         if isinstance(grid, DenseGrid):
-            _MASK_CACHE[grid.uid] = grid.mask_field("density")
+            m = grid.mask_field("density")
         else:
             m = grid.new_field("density", outside_value=0.0)
             if not grid.virtual:
                 m.fill(1.0)
                 m.sync_halo_now()
-            _MASK_CACHE[grid.uid] = m
-    return _MASK_CACHE[grid.uid]
+        grid._density_mask_field = m
+    return m
 
 
 class ElasticitySolver:

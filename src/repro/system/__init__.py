@@ -1,8 +1,17 @@
 """System abstraction: devices, memory, queues/events, back ends (paper IV-A)."""
 
+from . import sharedmem
 from .backend import Backend
 from .device import HOST, Device, DeviceSet, DeviceType
-from .engine import EngineDeadlock, ParallelEngine, ParallelFallbackWarning
+from .engine import (
+    EngineDeadlock,
+    ParallelEngine,
+    ParallelFallbackWarning,
+    ProcessEngine,
+    ProcessFallbackWarning,
+    close_all_process_engines,
+    process_fallback_reason,
+)
 from .memory import AllocationError, DeviceAllocator, DeviceBuffer, MemOptions, StagingPool
 from .queue import (
     Command,
@@ -34,7 +43,12 @@ __all__ = [
     "MemOptions",
     "ParallelEngine",
     "ParallelFallbackWarning",
+    "ProcessEngine",
+    "ProcessFallbackWarning",
     "RecordEventCommand",
     "StagingPool",
     "WaitEventCommand",
+    "close_all_process_engines",
+    "process_fallback_reason",
+    "sharedmem",
 ]

@@ -69,5 +69,19 @@ class Backend:
         """Bytes currently allocated per device rank (virtual included)."""
         return {r: self.allocator.used_bytes(self.devices[r]) for r in range(self.num_devices)}
 
+    def close(self) -> None:
+        """Deterministically release backend resources (idempotent).
+
+        Unlinks the allocator's shared-memory arenas and drains the
+        staging pool; both also happen at garbage collection via
+        ``weakref.finalize`` owners, but tests and long-lived drivers
+        should close under ``try/finally`` so a failure cannot leave
+        named segments behind for the next case.
+        """
+        try:
+            self.allocator.close()
+        finally:
+            self.staging.drain()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Backend({self.devices!r}, machine={self.machine.name})"

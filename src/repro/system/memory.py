@@ -19,6 +19,7 @@ import numpy as np
 from repro import observability as _obs
 from repro import resilience as _res
 
+from . import sharedmem
 from .device import Device
 
 
@@ -72,7 +73,15 @@ class DeviceBuffer:
     behaviour.
     """
 
-    def __init__(self, device: Device, shape, dtype, options: MemOptions | None = None, virtual: bool = False):
+    def __init__(
+        self,
+        device: Device,
+        shape,
+        dtype,
+        options: MemOptions | None = None,
+        virtual: bool = False,
+        arena: "sharedmem.SharedArena | None" = None,
+    ):
         self.device = device
         self.options = options or MemOptions()
         self.virtual = virtual
@@ -80,7 +89,15 @@ class DeviceBuffer:
         self._shape = tuple(int(s) for s in (shape if isinstance(shape, (tuple, list)) else (shape,)))
         if any(s < 0 for s in self._shape):
             raise ValueError(f"negative dimension in shape {self._shape}")
-        self.array = None if virtual else np.zeros(self._shape, dtype=self._dtype)
+        #: whether the payload lives in a shared-memory arena (visible to
+        #: forked worker processes); private payloads disqualify process mode
+        self.shared = False
+        if virtual:
+            self.array = None
+        else:
+            arr = arena.alloc_array(self._shape, self._dtype) if arena is not None else None
+            self.shared = arr is not None
+            self.array = arr if arr is not None else np.zeros(self._shape, dtype=self._dtype)
         self.uid = next(_buffer_ids)
 
     @property
@@ -126,6 +143,29 @@ class DeviceAllocator:
         self.capacity_bytes = capacity_bytes
         self._used: dict[int, int] = {}
         self._live: dict[int, list[DeviceBuffer]] = {}
+        # per-device shared-memory arenas backing non-virtual payloads so
+        # forked worker processes see the same pages (lazy; empty when
+        # shared backing is unavailable or REPRO_NO_SHM is set)
+        self._arenas: dict[int, sharedmem.SharedArena] = {}
+
+    def _arena_for(self, device: Device) -> "sharedmem.SharedArena | None":
+        if not sharedmem.available():
+            return None
+        arena = self._arenas.get(device.uid)
+        if arena is None:
+            arena = self._arenas[device.uid] = sharedmem.SharedArena(label=f"dev{device.index}")
+        return arena
+
+    def close(self) -> None:
+        """Release every shared-memory arena segment (idempotent).
+
+        Live buffer views keep their pages mapped until they die, but the
+        named segments are unlinked immediately, so nothing can leak past
+        the owning backend's lifetime.
+        """
+        arenas, self._arenas = self._arenas, {}
+        for arena in arenas.values():
+            arena.destroy()
 
     def used_bytes(self, device: Device) -> int:
         return self._used.get(device.uid, 0)
@@ -162,7 +202,9 @@ class DeviceAllocator:
                     f"device {device.index}: injected allocation fault (seeded); "
                     f"{self._oom_detail(device)}"
                 )
-        buf = DeviceBuffer(device, shape, dtype, options, virtual=virtual)
+        buf = DeviceBuffer(
+            device, shape, dtype, options, virtual=virtual, arena=self._arena_for(device)
+        )
         if self.capacity_bytes is not None:
             if self.used_bytes(device) + buf.allocated_bytes > self.capacity_bytes:
                 raise AllocationError(
@@ -297,6 +339,18 @@ class StagingPool:
             np.copyto(dst, view)
         finally:
             self.release(device, stage)
+
+    def drain(self) -> None:
+        """Drop every pooled block and reset resident accounting.
+
+        Teardown hook (``Backend.close``): staging blocks are plain
+        process-private arrays, but draining deterministically on close
+        keeps a failing test from carrying resident-bytes state — or a
+        reference to a dead backend's blocks — into the next one.
+        """
+        with self._lock:
+            self._free.clear()
+            self._resident.clear()
 
     def stats(self) -> dict[str, float]:
         """Pool quality snapshot: hits, misses, hit rate, resident bytes."""

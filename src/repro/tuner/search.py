@@ -105,7 +105,7 @@ def tune_workload(
     machine: MachineSpec,
     devices: int = 4,
     occ_levels=None,
-    modes: tuple[str, ...] = ("serial", "parallel"),
+    modes: tuple[str, ...] = ("serial", "parallel", "process"),
     extra_weight_options: tuple = (),
 ) -> TunePlan:
     """Full tuner search for one workload on one machine.

@@ -105,6 +105,55 @@ def test_read_bench_json_upgrades_pre_fusion_docs_in_memory(tmp_path):
     assert read_bench_json(p)["results"][0]["fused"] is True
 
 
+def test_read_bench_json_upgrades_pre_process_docs_in_memory(tmp_path):
+    """Pre-/4 documents gain a ``params.process_skipped`` note.
+
+    They never carry ``<exp>-process`` result labels or a
+    ``speedup_process``; the upgrade records *why* (schema predates the
+    mode) so a /4 consumer — the regression checker, the dashboard —
+    can tell "process legs skipped" apart from "process legs missing".
+    """
+    for schema in ("repro-bench/1", "repro-bench/2", "repro-bench/3"):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps(_doc(schema=schema)))
+        doc = read_bench_json(p)
+        assert "predates process mode" in doc["params"]["process_skipped"]
+        assert schema in doc["params"]["process_skipped"]
+    # a /4 document is trusted to speak for itself, both ways
+    p = tmp_path / "c.json"
+    p.write_text(json.dumps(_doc(params={"speedup_process": 1.4})))
+    assert "process_skipped" not in read_bench_json(p)["params"]
+    p.write_text(json.dumps(_doc(params={"process_skipped": "resilience armed"})))
+    assert read_bench_json(p)["params"]["process_skipped"] == "resilience armed"
+
+
+def test_compare_docs_joins_process_labels_across_schemas(tmp_path):
+    """A /1 baseline vs a /4 document with process rows: shared labels
+    compare, the /4-only ``lbm-process`` row is skipped, and the same
+    pair with matching process rows flags process regressions."""
+    old_v1 = tmp_path / "old.json"
+    old_v1.write_text(json.dumps(_doc(wall=1.0, schema="repro-bench/1")))
+    new_v4 = _doc(wall=1.1)
+    new_v4["results"].append(
+        {"label": "lbm-process", "mode": "process", "wall_clock_s": 0.5, "mlups": 200.0}
+    )
+    new_path = tmp_path / "new.json"
+    new_path.write_text(json.dumps(new_v4))
+    findings, ok = check_regression(old_v1, new_path, threshold=0.25)
+    assert ok  # 10% wall growth is under threshold; process row has no join
+    assert not any(f.label == "lbm-process" for f in findings)
+
+    # both /4 with process rows: the join happens and regressions flag
+    old_v4 = _doc(wall=1.0)
+    old_v4["results"].append(
+        {"label": "lbm-process", "mode": "process", "wall_clock_s": 0.5, "mlups": 200.0}
+    )
+    slow = json.loads(json.dumps(new_v4))
+    slow["results"][1]["wall_clock_s"] = 2.0
+    findings = compare_docs(old_v4, slow, threshold=0.25)
+    assert any(f.regression and f.label == "lbm-process" and f.metric == "wall_clock_s" for f in findings)
+
+
 def test_fusion_ratio_drop_flags_on_result_entries():
     old, new = _doc(), _doc()
     old["results"][0]["fusion_ratio"] = 8.7

@@ -1,0 +1,108 @@
+"""The process-mode axis of the differential conformance matrix.
+
+Every solver runs under ``mode="process"`` — forked per-device workers
+replaying against shared-memory payloads — across the full device ×
+OCC × fused/unfused grid, and must match the cached native baselines
+bit for bit.  Passing this axis alongside ``test_differential.py``
+proves the strongest claim of the multiprocess engine: moving each
+device's program into its own *process* (separate interpreter, shared
+pages, event-board synchronisation) changes nothing about the numbers,
+not even the last ulp.
+
+A :class:`ProcessFallbackWarning` is promoted to an error inside every
+run: a config that silently degraded to serial would pass trivially,
+and this axis exists precisely to not test that.
+
+Gating: the axis needs working shared memory, and on a single usable
+core it is skipped by default (the engine is exercised more cheaply by
+``tests/system/test_process_engine.py``; the full matrix at 8 forked
+workers per config is CI-budget-relevant).  Set
+``REPRO_FORCE_PROCESS_TESTS=1`` to run it anyway — correctness does
+not depend on core count, only wall-clock does.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import pytest
+
+from repro.bench.harness import usable_cpu_count
+from repro.skeleton import Occ, fusion
+from repro.system import ProcessFallbackWarning, process_fallback_reason, sharedmem
+
+from .harness import DEVICE_COUNTS, SOLVERS, assert_bitwise_equal
+
+
+def _skip_reason() -> str | None:
+    if not sharedmem.available():
+        return "shared memory unavailable on this platform (or REPRO_NO_SHM set)"
+    if os.environ.get("REPRO_FORCE_PROCESS_TESTS"):
+        return None
+    if usable_cpu_count() < 2:
+        return (
+            f"only {usable_cpu_count()} usable core(s); "
+            "set REPRO_FORCE_PROCESS_TESTS=1 to run the process axis anyway"
+        )
+    return None
+
+
+_REASON = _skip_reason()
+pytestmark = pytest.mark.skipif(_REASON is not None, reason=_REASON or "")
+
+
+def _process_configs():
+    """1-device anchor plus every (devices, occ, fused) multi-device cell."""
+    configs = [(1, Occ.STANDARD, True)]
+    for devices in DEVICE_COUNTS:
+        if devices == 1:
+            continue
+        for occ in Occ:
+            for fused in (True, False):
+                configs.append((devices, occ, fused))
+    return configs
+
+
+def _config_id(cfg) -> str:
+    devices, occ, fused = cfg
+    return f"{devices}dev-{occ.value}-{'fused' if fused else 'unfused'}"
+
+
+def _run_process(run, devices: int, occ: Occ, fused: bool):
+    """One solver run in process mode, fallback warnings promoted."""
+    import contextlib
+
+    assert process_fallback_reason() is None, "process mode would silently fall back"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ProcessFallbackWarning)
+        with fusion.disabled() if not fused else contextlib.nullcontext():
+            return run(devices, occ, "process", None)
+
+
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+@pytest.mark.parametrize("config", _process_configs(), ids=_config_id)
+def test_process_matches_native_bitwise(solver, config):
+    devices, occ, fused = config
+    run, native = SOLVERS[solver]
+    got = _run_process(run, devices, occ, fused)
+    assert_bitwise_equal(got, native(), f"{solver}[process-{_config_id(config)}]")
+
+
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_serial_parallel_process_cross_mode_bitwise(solver):
+    """The three engines agree with each other, not just with the native.
+
+    One representative multi-device configuration per solver; any
+    divergence between in-thread and cross-process replay of the *same*
+    compiled plans would surface here even if all three happened to
+    match a (differently scheduled) native baseline.
+    """
+    run, _native = SOLVERS[solver]
+    serial = run(3, Occ.STANDARD, "serial", None)
+    parallel = run(3, Occ.STANDARD, "parallel", None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ProcessFallbackWarning)
+        process = run(3, Occ.STANDARD, "process", None)
+    assert_bitwise_equal(parallel, serial, f"{solver}[parallel-vs-serial]")
+    assert_bitwise_equal(process, serial, f"{solver}[process-vs-serial]")

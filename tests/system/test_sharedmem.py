@@ -1,0 +1,224 @@
+"""Unit tests for the shared-memory substrates behind process mode.
+
+Covers the three building blocks in :mod:`repro.system.sharedmem` —
+arena allocation, the cross-process event board, and shared scalar
+cells — plus the segment registry the suite-wide leak guard is built
+on.  Everything here runs in-process (the cross-process behaviour is
+exercised by ``test_process_engine.py``); these tests pin down the
+single-process semantics the engine relies on.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.system import sharedmem
+
+pytestmark = pytest.mark.skipif(
+    not sharedmem.available(), reason="shared memory unavailable on this platform"
+)
+
+
+class TestSharedArena:
+    def test_alloc_returns_zeroed_view_of_requested_shape(self):
+        arena = sharedmem.SharedArena(label="t0")
+        try:
+            arr = arena.alloc_array((5, 7), np.float64)
+            assert arr is not None
+            assert arr.shape == (5, 7)
+            assert arr.dtype == np.float64
+            assert not arr.flags.owndata  # a view over the segment, not a copy
+            np.testing.assert_array_equal(arr, np.zeros((5, 7)))
+        finally:
+            arena.destroy()
+
+    def test_allocations_are_aligned_and_disjoint(self):
+        arena = sharedmem.SharedArena(label="t1")
+        try:
+            a = arena.alloc_array((3,), np.float64)
+            b = arena.alloc_array((3,), np.float64)
+            # same segment, 64-byte aligned starts, no overlap
+            assert arena.segment_count == 1
+            for v in (a, b):
+                assert v.ctypes.data % 64 == 0
+            a[...] = 1.0
+            b[...] = 2.0
+            np.testing.assert_array_equal(a, [1.0, 1.0, 1.0])
+            np.testing.assert_array_equal(b, [2.0, 2.0, 2.0])
+        finally:
+            arena.destroy()
+
+    def test_large_allocation_gets_its_own_segment(self):
+        arena = sharedmem.SharedArena(label="t2")
+        try:
+            arena.alloc_array((8,), np.float64)
+            big = 1 + (sharedmem._MIN_SEGMENT // 8)
+            arena.alloc_array((big,), np.float64)
+            assert arena.segment_count == 2
+        finally:
+            arena.destroy()
+
+    def test_zero_sized_allocation_is_private_and_free(self):
+        arena = sharedmem.SharedArena(label="t3")
+        try:
+            arr = arena.alloc_array((0, 4), np.float64)
+            assert arr is not None and arr.shape == (0, 4)
+            assert arena.segment_count == 0  # no segment spent on no data
+        finally:
+            arena.destroy()
+
+    def test_destroy_unlinks_registered_segments(self):
+        before = {rec.name for rec in sharedmem.live_segments()}
+        arena = sharedmem.SharedArena(label="t4")
+        arena.alloc_array((16,), np.float64)
+        created = {rec.name for rec in sharedmem.live_segments()} - before
+        assert len(created) == 1
+        arena.destroy()
+        arena.destroy()  # idempotent
+        assert not created & {rec.name for rec in sharedmem.live_segments()}
+
+    def test_abandoned_arena_is_released_by_gc(self):
+        before = {rec.name for rec in sharedmem.live_segments()}
+        arena = sharedmem.SharedArena(label="t5")
+        arena.alloc_array((16,), np.float64)
+        del arena  # no destroy(): the weakref.finalize net must catch it
+        gc.collect()
+        assert {rec.name for rec in sharedmem.live_segments()} == before
+
+
+class TestEventBoard:
+    def test_set_clear_is_set_roundtrip(self):
+        board = sharedmem.EventBoard(3)
+        try:
+            assert not board.is_set(1)
+            board.set(1)
+            assert board.is_set(1)
+            assert not board.is_set(0) and not board.is_set(2)
+            board.clear(1)
+            assert not board.is_set(1)
+        finally:
+            board.destroy()
+
+    def test_wait_returns_immediately_when_already_set(self):
+        board = sharedmem.EventBoard(1)
+        try:
+            board.set(0)
+            assert board.wait(0, timeout=0.0) is True
+        finally:
+            board.destroy()
+
+    def test_wait_times_out_false_when_never_set(self):
+        board = sharedmem.EventBoard(1)
+        try:
+            assert board.wait(0, timeout=0.01) is False
+        finally:
+            board.destroy()
+
+    def test_abort_wakes_waiter_without_setting_slot(self):
+        board = sharedmem.EventBoard(2)
+        try:
+            board.abort()
+            assert board.aborted()
+            # an abort wake-up reports the slot itself as unset
+            assert board.wait(0, timeout=5.0) is False
+            assert not board.is_set(0)
+        finally:
+            board.destroy()
+
+    def test_reset_clears_all_flags_including_abort(self):
+        board = sharedmem.EventBoard(2)
+        try:
+            board.set(0)
+            board.abort()
+            board.reset()
+            assert not board.is_set(0) and not board.aborted()
+        finally:
+            board.destroy()
+
+    def test_signal_for_matches_threading_event_protocol(self):
+        board = sharedmem.EventBoard(2)
+        try:
+            sig = board.signal_for(1)
+            assert not sig.is_set()
+            sig.set()
+            assert sig.is_set() and board.is_set(1)
+            assert sig.wait(0.0) is True
+            sig.clear()
+            assert not sig.is_set()
+        finally:
+            board.destroy()
+
+    def test_signal_for_rejects_out_of_range_slots(self):
+        board = sharedmem.EventBoard(1)
+        try:
+            with pytest.raises(IndexError):
+                board.signal_for(1)
+            with pytest.raises(IndexError):
+                board.signal_for(-1)
+        finally:
+            board.destroy()
+
+    def test_destroy_unlinks_flag_segment(self):
+        before = {rec.name for rec in sharedmem.live_segments()}
+        board = sharedmem.EventBoard(4)
+        assert len(sharedmem.live_segments()) == len(before) + 1
+        board.destroy()
+        board.destroy()  # idempotent
+        assert {rec.name for rec in sharedmem.live_segments()} == before
+
+
+class TestSharedScalarCell:
+    def test_dict_shaped_interface(self):
+        cell = sharedmem.SharedScalarCell(2.5)
+        assert cell["v"] == 2.5
+        cell["v"] = -1.25
+        assert cell["v"] == -1.25
+
+    def test_rejects_other_keys(self):
+        cell = sharedmem.SharedScalarCell()
+        with pytest.raises(KeyError):
+            cell["w"]
+        with pytest.raises(KeyError):
+            cell["w"] = 1.0
+
+    def test_update_visible_to_forked_child(self):
+        cell = sharedmem.SharedScalarCell(1.0)
+        r, w = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: wait for the parent's update, then report
+            os.close(w)
+            os.read(r, 1)
+            ok = cell["v"] == 42.0
+            os._exit(0 if ok else 1)
+        os.close(r)
+        cell["v"] = 42.0
+        os.write(w, b"x")
+        os.close(w)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+
+
+class TestRegistry:
+    def test_records_carry_tag_and_size(self):
+        arena = sharedmem.SharedArena(label="reg")
+        try:
+            arena.alloc_array((4,), np.float64)
+            tags = {rec.tag for rec in sharedmem.live_segments()}
+            assert "arena:reg" in tags
+            rec = next(r for r in sharedmem.live_segments() if r.tag == "arena:reg")
+            assert rec.nbytes >= 32 and not rec.unlinked
+        finally:
+            arena.destroy()
+
+    def test_no_shm_env_disables_availability(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        assert not sharedmem.available()
+
+    def test_cell_degrades_to_plain_without_shm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        cell = sharedmem.SharedScalarCell(3.0)
+        assert cell["v"] == 3.0
+        cell["v"] = 4.0
+        assert cell["v"] == 4.0
