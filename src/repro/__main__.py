@@ -44,6 +44,16 @@
         # bench regression check between two BENCH_*.json documents
         # (schema /1 or /2); warn-only by default, --strict exits
         # non-zero on any metric past --threshold
+    python -m repro serve --jobs 20 --tenants 3 -o BENCH_serve.json
+        # multi-tenant serving smoke: submit a seeded mix of lbm/poisson
+        # jobs from several tenants through the Gateway and its
+        # persistent plan cache (warm programs replayed across jobs),
+        # print per-tenant p50/p90/p99 latency and cache hit/miss/evict
+        # counts, and (with -o) write a BENCH_serve.json whose
+        # per-tenant rows and percentile annotation feed
+        # 'report --compare'; --cache-dir (or $REPRO_PLAN_CACHE)
+        # persists TunePlans/estimates across server runs; exits
+        # non-zero if any job fails or hits fall below --hit-gate
     python -m repro chaos lbm --events 50 --seed 2026 -o CHAOS_lbm.json
         # chaos soak: drive a miniature through the adaptive resilient
         # driver under a calibrated storm of transient faults, silent
@@ -495,6 +505,120 @@ def cmd_chaos(
     return 0 if report.ok else 1
 
 
+def cmd_serve(
+    jobs: int,
+    tenants: int,
+    devices: int,
+    workers: int,
+    seed: int,
+    mode: str,
+    cache_dir: str | None,
+    hit_gate: int,
+    out: str | None,
+) -> int:
+    import random
+
+    from repro import observability as obs
+    from repro.bench.harness import write_bench_json
+    from repro.serving import Gateway, JobSpec, PlanCache
+
+    if jobs < 1 or tenants < 1:
+        print("--jobs and --tenants must be >= 1", file=sys.stderr)
+        return 2
+    if devices < 1:
+        print(f"--devices must be >= 1, got {devices}", file=sys.stderr)
+        return 2
+
+    # a deterministic mixed workload: the same seed always produces the
+    # same (tenant, spec) stream, so CI runs are reproducible
+    specs = [
+        JobSpec.make("lbm", (8, 6, 6), steps=3, devices=devices, mode=mode, omega=1.1),
+        JobSpec.make("poisson", (8, 6, 6), steps=4, devices=devices, mode=mode),
+    ]
+    rng = random.Random(seed)
+    tenant_names = [f"tenant{i}" for i in range(tenants)]
+    stream = [(rng.choice(tenant_names), rng.choice(specs)) for _ in range(jobs)]
+
+    obs.enable()
+    cache = PlanCache(root=cache_dir)
+    failed = 0
+    per_tenant: dict[str, dict] = {t: {"jobs": 0, "wall": 0.0, "hits": 0} for t in tenant_names}
+    try:
+        with Gateway(cache=cache, workers=workers) as gw:
+            handles = [(t, gw.submit(t, spec)) for t, spec in stream]
+            for tenant, job in handles:
+                try:
+                    r = job.result(timeout=600)
+                except Exception as exc:  # noqa: BLE001 - reported, gates the exit code
+                    failed += 1
+                    print(f"  FAILED {tenant} {job.spec.experiment}: {exc}", file=sys.stderr)
+                    continue
+                row = per_tenant[tenant]
+                row["jobs"] += 1
+                row["wall"] += r.seconds
+                row["hits"] += int(r.cache_hit)
+            stats = gw.stats()
+        summaries = obs.metrics().histogram_summaries("serve_job_seconds")
+    finally:
+        obs.disable()
+
+    cache_stats = stats["cache"]
+    print(f"served {stats['done']} job(s) from {tenants} tenant(s) ({failed} failed)")
+    print(
+        f"plan cache: {cache_stats['hits']} hit(s), {cache_stats['misses']} miss(es), "
+        f"{cache_stats['evictions']} eviction(s), root={cache_stats['root']}"
+    )
+    print(f"batch joins: {stats['batch_joins']}")
+    print(f"\n{'tenant':<10} {'jobs':>5} {'hits':>5} {'p50 ms':>9} {'p90 ms':>9} {'p99 ms':>9}")
+    for s in sorted(summaries, key=lambda s: s["labels"].get("tenant", "")):
+        tenant = s["labels"].get("tenant", "?")
+        row = per_tenant.get(tenant, {"jobs": 0, "hits": 0})
+        print(
+            f"{tenant:<10} {row['jobs']:>5} {row['hits']:>5} "
+            f"{1e3 * s['p50']:>9.2f} {1e3 * s['p90']:>9.2f} {1e3 * s['p99']:>9.2f}"
+        )
+
+    if out:
+        results = [
+            {
+                "label": f"serve-{t}",
+                "mode": mode,
+                "wall_clock_s": row["wall"],
+                "jobs": row["jobs"],
+                "cache_hits": row["hits"],
+            }
+            for t, row in sorted(per_tenant.items())
+            if row["jobs"]
+        ]
+        path = write_bench_json(
+            out,
+            "serve",
+            {
+                "jobs": jobs,
+                "tenants": tenants,
+                "devices": devices,
+                "workers": workers,
+                "seed": seed,
+                "mode": mode,
+                "cache": cache_stats,
+            },
+            results,
+            percentiles={"serve_job_seconds": summaries},
+        )
+        print(f"wrote {path}")
+
+    if failed:
+        print(f"SERVE: {failed} job(s) failed", file=sys.stderr)
+        return 1
+    if cache_stats["hits"] < hit_gate:
+        print(
+            f"SERVE: only {cache_stats['hits']} plan-cache hit(s); required >= {hit_gate}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_info() -> int:
     import numpy
 
@@ -648,6 +772,30 @@ def main(argv: list[str] | None = None) -> int:
         choices=["serial", "parallel", "process"],
         help="execution mode for the soak (armed resilience degrades to serial; default serial)",
     )
+    sv = sub.add_parser("serve", help="multi-tenant gateway smoke: mixed jobs through the plan cache")
+    sv.add_argument("--jobs", type=int, default=20, help="total jobs to submit (default 20)")
+    sv.add_argument("--tenants", type=int, default=3, help="tenant count (default 3)")
+    sv.add_argument("--devices", type=int, default=2, help="simulated device count (default 2)")
+    sv.add_argument("--workers", type=int, default=2, help="gateway worker threads (default 2)")
+    sv.add_argument("--seed", type=int, default=2026, help="job-mix seed (default 2026)")
+    sv.add_argument(
+        "--mode",
+        default="serial",
+        choices=["serial", "parallel", "process"],
+        help="execution mode for served jobs (default serial)",
+    )
+    sv.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent plan-cache root (default: $REPRO_PLAN_CACHE, else memory-only)",
+    )
+    sv.add_argument(
+        "--hit-gate",
+        type=int,
+        default=1,
+        help="fail (exit 1) unless the plan cache scores at least this many hits (default 1)",
+    )
+    sv.add_argument("-o", "--output", default=None, help="write BENCH_serve.json here (per-tenant rows)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -694,6 +842,18 @@ def main(argv: list[str] | None = None) -> int:
             args.threshold,
             args.strict,
             args.flight_out,
+        )
+    if args.command == "serve":
+        return cmd_serve(
+            args.jobs,
+            args.tenants,
+            args.devices,
+            args.workers,
+            args.seed,
+            args.mode,
+            args.cache_dir,
+            args.hit_gate,
+            args.output,
         )
     if args.command == "chaos":
         return cmd_chaos(

@@ -39,6 +39,8 @@ _HISTOGRAMS = (
     "kernel_seconds",
     "copy_seconds",
     "replay_seconds",
+    "serve_job_seconds",
+    "serve_queue_wait_seconds",
     "engine_batch_seconds",
     "copy_size_bytes",
     "staging_acquire_seconds",

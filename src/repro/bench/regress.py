@@ -37,6 +37,29 @@ _RESULT_METRICS = {
 _DETERMINISTIC = ("sim_makespan_s",)
 
 
+class BenchLabelMismatch(ValueError):
+    """Two same-schema bench files disagree on which result labels exist.
+
+    A label present in only one file means the comparison would silently
+    ignore that configuration — in a gate, that's a hole, not a skip.
+    Raised by :func:`check_regression` (``report --compare``) so callers
+    get a typed, explainable failure instead of a partial verdict;
+    cross-*schema* compares stay lenient (old documents genuinely lack
+    labels newer schemas added), as do ``<exp>-process`` labels when the
+    label-lacking file records *why* in ``params.process_skipped``.
+    """
+
+    def __init__(self, only_old: set, only_new: set):
+        self.only_old = frozenset(only_old)
+        self.only_new = frozenset(only_new)
+        parts = []
+        if only_old:
+            parts.append("only in the old file: " + ", ".join(sorted(only_old)))
+        if only_new:
+            parts.append("only in the new file: " + ", ".join(sorted(only_new)))
+        super().__init__("bench result labels do not match; " + "; ".join(parts))
+
+
 @dataclass(frozen=True)
 class Finding:
     """One metric delta between the two documents."""
@@ -145,16 +168,48 @@ def _flatten_percentiles(percentiles: dict) -> dict[str, dict]:
     return flat
 
 
+def _check_label_parity(old: dict, new: dict) -> None:
+    """Raise :class:`BenchLabelMismatch` for unexcused asymmetric labels.
+
+    Only same-schema documents are held to parity: a pre-/3 or pre-/4
+    baseline legitimately lacks labels a newer schema added, and the
+    lenient join (:func:`compare_docs`) is the right behaviour there.
+    ``<exp>-process`` labels are excused when the file without them says
+    why (``params.process_skipped``, written both by the upgrade shim
+    and by runs that skipped the process leg on purpose).
+    """
+    if old.get("schema") != new.get("schema"):
+        return
+    old_labels = {r.get("label") for r in old.get("results", [])}
+    new_labels = {r.get("label") for r in new.get("results", [])}
+
+    def excused(label, lacking_doc: dict) -> bool:
+        return (
+            isinstance(label, str)
+            and label.endswith("-process")
+            and "process_skipped" in lacking_doc.get("params", {})
+        )
+
+    only_old = {lb for lb in old_labels - new_labels if not excused(lb, new)}
+    only_new = {lb for lb in new_labels - old_labels if not excused(lb, old)}
+    if only_old or only_new:
+        raise BenchLabelMismatch(only_old, only_new)
+
+
 def check_regression(old_path, new_path, threshold: float = 0.25) -> tuple[list[Finding], bool]:
     """Load, compare, and judge two bench files.
 
     Returns ``(findings, ok)``; ``ok`` is False iff any regression was
     flagged.  Callers decide whether that fails the build (CI runs
-    warn-only by default).
+    warn-only by default).  Raises :class:`BenchLabelMismatch` when two
+    same-schema files disagree on which result labels exist (see the
+    class docstring for the excusals).
     """
     from .harness import read_bench_json  # noqa: PLC0415 - avoid cycle at import
 
-    findings = compare_docs(read_bench_json(old_path), read_bench_json(new_path), threshold)
+    old, new = read_bench_json(old_path), read_bench_json(new_path)
+    _check_label_parity(old, new)
+    findings = compare_docs(old, new, threshold)
     return findings, not any(f.regression for f in findings)
 
 
@@ -170,4 +225,4 @@ def render(findings: list[Finding], threshold: float) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["Finding", "check_regression", "compare_docs", "render"]
+__all__ = ["BenchLabelMismatch", "Finding", "check_regression", "compare_docs", "render"]

@@ -113,6 +113,15 @@ class Skeleton:
         """Record the schedule without executing kernels (timing-only)."""
         return self.plan.execute(eager=False)
 
+    def close(self) -> None:
+        """Retire the replay engines (idempotent; the compiled schedule
+        survives — a later ``run()`` simply builds fresh engines).
+
+        Long-lived hosts (the serving gateway's plan cache) call this on
+        eviction so warm programs don't pin worker pools forever.
+        """
+        self.plan.close_engines()
+
     def autotune(
         self,
         machine: MachineSpec | None = None,

@@ -10,6 +10,7 @@ from .engine import (
     ProcessEngine,
     ProcessFallbackWarning,
     close_all_process_engines,
+    live_process_engine_count,
     process_fallback_reason,
 )
 from .memory import AllocationError, DeviceAllocator, DeviceBuffer, MemOptions, StagingPool
@@ -49,6 +50,7 @@ __all__ = [
     "StagingPool",
     "WaitEventCommand",
     "close_all_process_engines",
+    "live_process_engine_count",
     "process_fallback_reason",
     "sharedmem",
 ]

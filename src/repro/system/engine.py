@@ -476,6 +476,20 @@ def close_all_process_engines() -> None:
         engine.close()
 
 
+def live_process_engine_count() -> int:
+    """How many process engines still hold forked workers or a board.
+
+    Long-lived servers (the serving gateway) and the test suite use
+    this to assert engine teardown actually happened: an engine that
+    was closed — or never forked — no longer counts.
+    """
+    return sum(
+        1
+        for engine in _LIVE_PROCESS_ENGINES
+        if engine._state.workers or engine._state.board is not None
+    )
+
+
 class ProcessEngine:
     """Replays recorded command queues with one worker *process* per device.
 

@@ -88,6 +88,35 @@ class TunePlan:
         d["tuned_vs_uniform"] = self.tuned_vs_uniform
         return d
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "TunePlan":
+        """Rebuild a plan from :meth:`to_dict` output (e.g. a plan cache).
+
+        The derived ``improvement`` / ``tuned_vs_uniform`` keys are
+        ignored — they are properties recomputed from the candidates —
+        so ``TunePlan.from_dict(plan.to_dict())`` round-trips exactly.
+        """
+
+        def candidate(c: dict) -> Candidate:
+            weights = c.get("weights")
+            return Candidate(
+                occ=c["occ"],
+                mode=c["mode"],
+                weights=None if weights is None else tuple(float(w) for w in weights),
+                makespan=float(c["makespan"]),
+            )
+
+        return cls(
+            experiment=d["experiment"],
+            machine=d["machine"],
+            devices=int(d["devices"]),
+            best=candidate(d["best"]),
+            baseline=candidate(d["baseline"]),
+            shares=tuple(float(s) for s in d["shares"]),
+            candidates=[candidate(c) for c in d.get("candidates", [])],
+            fit_quality=d.get("fit_quality"),
+        )
+
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 

@@ -188,6 +188,50 @@ def assert_bitwise_equal(got: dict[str, np.ndarray], want: dict[str, np.ndarray]
             )
 
 
+# -- the cache/serving axis --------------------------------------------------
+# The gateway serves jobs from warm cached programs; the conformance bar
+# is that a served result — cold or warm replay — is bitwise-identical
+# to the direct runner above (and hence to the native baseline).
+
+
+def served_spec(solver: str, devices: int, occ: Occ, mode: str, weights):
+    """The JobSpec matching a direct runner's configuration exactly.
+
+    Every parameter a ``run_*`` function pins (shape, steps, omega, rhs,
+    tolerance, ...) must appear here, or the differential comparison
+    would be comparing different problems.
+    """
+    from repro.serving import JobSpec
+
+    if solver == "lbm":
+        return JobSpec.make(
+            "lbm", LBM_SHAPE, LBM_STEPS, devices=devices, occ=occ.value, mode=mode,
+            weights=weights, omega=1.1, lid_velocity=0.08,
+        )
+    if solver == "karman":
+        return JobSpec.make(
+            "karman", KARMAN_SHAPE, KARMAN_STEPS, devices=devices, occ=occ.value,
+            mode=mode, weights=weights,
+        )
+    if solver == "poisson":
+        return JobSpec.make(
+            "poisson", POISSON_SHAPE, POISSON_ITERS, devices=devices, occ=occ.value,
+            mode=mode, weights=weights, rhs="manufactured", tolerance=1e-12,
+        )
+    if solver == "elasticity":
+        return JobSpec.make(
+            "elasticity", (ELASTIC_N,), ELASTIC_ITERS, devices=devices, occ=occ.value,
+            mode=mode, weights=weights, tolerance=1e-12,
+        )
+    raise KeyError(f"no served spec for solver '{solver}'")
+
+
+def run_served(gateway, solver: str, devices: int, occ: Occ, mode: str, weights, tenant="conformance"):
+    """One job through the gateway; returns its fingerprints dict."""
+    job = gateway.submit(tenant, served_spec(solver, devices, occ, mode, weights))
+    return job.result(timeout=600).fingerprints
+
+
 def matrix_configs(device_counts=DEVICE_COUNTS):
     """The conformance matrix: every multi-device configuration, plus the
     single-device anchor (where OCC, mode and weights are all no-ops and

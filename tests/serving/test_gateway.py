@@ -1,0 +1,271 @@
+"""Gateway behaviour: admission, fairness, batching, warm-path latency.
+
+The concurrency stress here is the satellite the issue names: many
+threads submitting mixed lbm/poisson jobs against one warm runtime,
+with the bar being *no deadlock, fair completion per tenant, the
+queue-depth gauge back at zero*, and — on the process-mode leg — the
+suite-wide shared-memory leak guard staying clean.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.bench.harness import usable_cpu_count
+from repro.serving import (
+    AdmissionRejected,
+    Gateway,
+    GatewayClosed,
+    JobSpec,
+    PlanCache,
+)
+from repro.system import live_process_engine_count, sharedmem
+
+LBM = JobSpec.make("lbm", (8, 6, 6), 2, devices=2, omega=1.1)
+POISSON = JobSpec.make("poisson", (8, 6, 6), 3, devices=2)
+
+
+def _gauge_value(name: str) -> float:
+    series = obs.OBS.metrics.series(name)
+    return sum(s.value for s in series)
+
+
+# -- basics -------------------------------------------------------------------
+def test_warm_replay_is_bitwise_identical_and_skips_compile():
+    with Gateway(workers=1) as gw:
+        cold = gw.submit("a", POISSON).result(timeout=300)
+        before = sum(1 for s in obs.tracer().spans if s.cat == "compile")
+        warm = gw.submit("a", POISSON).result(timeout=300)
+        after = sum(1 for s in obs.tracer().spans if s.cat == "compile")
+    assert not cold.cache_hit and warm.cache_hit
+    # the acceptance bar: a warm job compiles *nothing*
+    assert after - before == 0
+    for key in cold.fingerprints:
+        assert np.array_equal(cold.fingerprints[key], warm.fingerprints[key])
+
+
+def test_warm_latency_beats_cold_by_4x():
+    """Bench-style miniature: warm-start < 25% of cold-start wall.
+
+    Cold must mean *per-key compile*, not process warm-up: the first
+    LBM job in a process also pays the one-time C-codegen cache, which
+    would flatter the ratio, so a throwaway job pays it first.  An
+    8-way graph keeps the compile phase tens of milliseconds — large
+    against scheduler jitter — and both sides take the min of several
+    samples (fresh gateway per cold sample, so each one recompiles).
+    Measured with observability off (the suite fixture enables it):
+    per-span tracing taxes the warm replay far more than the compile,
+    and the production default this bar describes is tracing-off.
+    """
+    obs.disable()  # the autouse fixture's obs.reset() restores state
+    big = JobSpec.make("lbm", (16, 12, 12), 2, devices=8, omega=1.1)
+    with Gateway(workers=1) as gw:
+        gw.submit("w", LBM).result(timeout=300)  # one-time codegen cost
+
+    ratios = []
+    for _ in range(3):
+        with Gateway(workers=1) as gw:
+            cold = gw.submit("a", big).result(timeout=300).seconds
+            warm = min(
+                gw.submit("a", big).result(timeout=300).seconds for _ in range(4)
+            )
+        ratios.append(warm / cold)
+        if ratios[-1] < 0.25:
+            return
+    pytest.fail(f"warm/cold ratios never beat 0.25: {ratios}")
+
+
+def test_unknown_experiment_and_bad_fault_target_raise():
+    with pytest.raises(KeyError, match="no served workload"):
+        JobSpec.make("navier", (8,), 2)
+    with Gateway(workers=1) as gw:
+        with pytest.raises(KeyError, match="no fault-matrix workload"):
+            gw.submit("a", JobSpec.make("karman", (16, 24), 2), fault_profile="transient")
+
+
+def test_submit_after_close_raises():
+    gw = Gateway(workers=1)
+    gw.close()
+    with pytest.raises(GatewayClosed):
+        gw.submit("a", LBM)
+    gw.close()  # idempotent
+
+
+# -- admission control --------------------------------------------------------
+def test_bounded_queue_rejects_past_max_queue():
+    gw = Gateway(workers=1, max_queue=2)
+    try:
+        with gw._exec_lock.exclusive():  # stall the worker mid-execute
+            first = gw.submit("a", POISSON)
+            # wait until the worker has *picked* the first job (pending
+            # drained to 0) so the two below are deterministic queue fill
+            deadline = threading.Event()
+            for _ in range(200):
+                with gw._cv:
+                    if gw._pending == 0:
+                        break
+                deadline.wait(0.01)
+            queued = [gw.submit("a", POISSON) for _ in range(2)]
+            with pytest.raises(AdmissionRejected):
+                gw.submit("b", POISSON)
+            assert gw.rejected == 1
+            assert obs.OBS.metrics.total("serve_rejected") == 1
+        for job in [first, *queued]:
+            job.result(timeout=300)
+    finally:
+        gw.close()
+    assert _gauge_value("serve_queue_depth") == 0
+
+
+# -- fairness + batching ------------------------------------------------------
+def test_fair_scheduling_interleaves_tenants():
+    """With vtime fairness, a second tenant is served before the first
+    tenant's backlog — submission order is not completion order."""
+    gw = Gateway(workers=1, batch_limit=1)  # batch_limit=1: pure fairness
+    try:
+        with gw._exec_lock.exclusive():  # hold the worker so the queue pre-fills
+            a_jobs = [gw.submit("a", POISSON) for _ in range(4)]
+            b_jobs = [gw.submit("b", POISSON) for _ in range(4)]
+        results_a = [j.result(timeout=300) for j in a_jobs]
+        results_b = [j.result(timeout=300) for j in b_jobs]
+    finally:
+        gw.close()
+    start = lambda r: r.queue_wait_seconds  # noqa: E731 - same submit burst, wait == start order
+    # tenant b's first job ran before tenant a's backlog finished
+    assert min(start(r) for r in results_b) < max(start(r) for r in results_a)
+    stats = gw.stats()
+    assert stats["done"] == 8 and stats["failed"] == 0
+    # both tenants were charged service time
+    assert stats["tenants"]["a"] > 0 and stats["tenants"]["b"] > 0
+
+
+def test_batching_joins_same_key_jobs():
+    gw = Gateway(workers=1, batch_limit=4)
+    try:
+        with gw._exec_lock.exclusive():
+            jobs = [gw.submit("a", LBM) for _ in range(5)]
+        results = [j.result(timeout=300) for j in jobs]
+    finally:
+        gw.close()
+    assert gw.batch_joins > 0
+    assert any(r.batched for r in results)
+    # batching never changes the numbers
+    for r in results[1:]:
+        assert np.array_equal(r.fingerprints["f"], results[0].fingerprints["f"])
+
+
+# -- the concurrency stress ---------------------------------------------------
+def _stress(gw: Gateway, threads: int, per_thread: int) -> dict[str, list]:
+    specs = [LBM, POISSON]
+    failures: list = []
+    done: dict[str, list] = {f"t{i}": [] for i in range(threads)}
+
+    def submitter(tenant: str, idx: int):
+        try:
+            handles = [
+                gw.submit(tenant, specs[(idx + n) % len(specs)]) for n in range(per_thread)
+            ]
+            done[tenant] = [h.result(timeout=600) for h in handles]
+        except Exception as exc:  # noqa: BLE001 - surfaced via the failures list
+            failures.append((tenant, exc))
+
+    workers = [
+        threading.Thread(target=submitter, args=(f"t{i}", i)) for i in range(threads)
+    ]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(timeout=600)
+        assert not t.is_alive(), "stress submitter deadlocked"
+    assert not failures, failures
+    return done
+
+
+def test_concurrent_mixed_tenants_no_deadlock_and_fair_completion():
+    gw = Gateway(workers=3, max_queue=256)
+    try:
+        done = _stress(gw, threads=4, per_thread=5)
+    finally:
+        gw.close()
+    # every tenant completed every job — nobody was starved
+    assert all(len(rs) == 5 for rs in done.values())
+    assert gw.stats()["done"] == 20 and gw.stats()["failed"] == 0
+    assert _gauge_value("serve_queue_depth") == 0
+    assert _gauge_value("serve_inflight") == 0
+    # per-tenant latency histograms populated for report p50/p90/p99
+    tenants = {
+        s["labels"]["tenant"] for s in obs.OBS.metrics.histogram_summaries("serve_job_seconds")
+    }
+    assert tenants == set(done)
+    # identical jobs produced identical fingerprints across tenants
+    lbm_results = [r for rs in done.values() for r in rs if r.spec == LBM]
+    for r in lbm_results[1:]:
+        assert np.array_equal(r.fingerprints["f"], lbm_results[0].fingerprints["f"])
+
+
+def _process_skip() -> str | None:
+    if not sharedmem.available():
+        return "shared memory unavailable on this platform (or REPRO_NO_SHM set)"
+    if os.environ.get("REPRO_FORCE_PROCESS_TESTS"):
+        return None
+    if usable_cpu_count() < 2:
+        return (
+            f"only {usable_cpu_count()} usable core(s); "
+            "set REPRO_FORCE_PROCESS_TESTS=1 to run the process leg anyway"
+        )
+    return None
+
+
+_PROC_REASON = _process_skip()
+
+
+@pytest.mark.skipif(_PROC_REASON is not None, reason=_PROC_REASON or "")
+def test_process_mode_stress_leaves_no_engines_or_segments():
+    """mode="process" jobs fork per-device workers; after close() every
+    engine is retired (the suite leak guard checks the segments)."""
+    import warnings
+
+    from repro.system import ProcessFallbackWarning
+
+    spec = JobSpec.make("lbm", (8, 6, 6), 2, devices=2, mode="process", omega=1.1)
+    gw = Gateway(workers=2)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ProcessFallbackWarning)
+            jobs = [gw.submit(f"t{i % 2}", spec) for i in range(4)]
+            results = [j.result(timeout=600) for j in jobs]
+    finally:
+        gw.close()
+    assert sum(r.cache_hit for r in results) >= 3
+    for r in results[1:]:
+        assert np.array_equal(r.fingerprints["f"], results[0].fingerprints["f"])
+    assert live_process_engine_count() == 0
+
+
+# -- unfused jobs -------------------------------------------------------------
+def test_unfused_jobs_run_exclusive_and_match_fused():
+    unfused = JobSpec.make("lbm", (8, 6, 6), 2, devices=2, fused=False, omega=1.1)
+    with Gateway(workers=2) as gw:
+        fused_r = gw.submit("a", LBM).result(timeout=300)
+        unfused_r = gw.submit("b", unfused).result(timeout=300)
+        warm = gw.submit("b", unfused).result(timeout=300)
+    # fusion is dispatch-only: the numbers are identical either way
+    assert np.array_equal(fused_r.fingerprints["f"], unfused_r.fingerprints["f"])
+    assert warm.cache_hit  # fused/unfused cache under *different* keys
+    assert np.array_equal(warm.fingerprints["f"], unfused_r.fingerprints["f"])
+
+
+def test_gateway_shares_cache_and_estimates_order_admission(tmp_path):
+    cache = PlanCache(root=tmp_path)
+    with Gateway(cache=cache, workers=1) as gw:
+        gw.submit("a", POISSON).result(timeout=300)
+    # the estimate was persisted; a new gateway's submit picks it up
+    with Gateway(cache=PlanCache(root=tmp_path), workers=1) as gw2:
+        job = gw2.submit("a", POISSON)
+        assert job.estimate > 0.0  # DES estimate, read back from disk
+        job.result(timeout=300)
